@@ -1,0 +1,89 @@
+//! `V(P)` — the number of balancing phases needed before every busy
+//! processor has shared its work at least once (Sec. 4, Appendices A & B) —
+//! and the resulting bound on total work transfers.
+
+/// `V(P)` for GP-S^x: with the global pointer the `(1-x)P` receivers are
+/// fed by a *different* block of donors each phase, so `V(P) = ceil(1/(1-x))`
+/// (Sec. 4.1).
+///
+/// # Panics
+/// Panics unless `0 <= x < 1`.
+pub fn v_gp(x: f64) -> f64 {
+    assert!((0.0..1.0).contains(&x), "x must be in [0,1)");
+    // The tiny epsilon keeps 1/(1-x) values that are integers up to float
+    // round-off (e.g. x = 0.9 → 10.000000000000002) from ceiling one high.
+    (1.0 / (1.0 - x) - 1e-9).ceil()
+}
+
+/// Upper bound on `V(P)` for nGP-S^x (Appendix B): `1` for `x <= 0.5`,
+/// otherwise `(log_{1/(1-α)} W)^{(2x-1)/(1-x)}`.
+///
+/// `log_alpha_w` is the per-split log factor `log_{1/(1-α)} W` (use
+/// [`crate::trigger::TriggerParams::log_alpha_w`]).
+pub fn v_ngp(x: f64, log_alpha_w: f64) -> f64 {
+    assert!((0.0..1.0).contains(&x), "x must be in [0,1)");
+    if x <= 0.5 {
+        1.0
+    } else {
+        log_alpha_w.powf((2.0 * x - 1.0) / (1.0 - x))
+    }
+}
+
+/// Appendix A: total work transfers are at most `V(P) · log_{1/(1-α)} W`.
+pub fn total_transfer_bound(v_p: f64, log_alpha_w: f64) -> f64 {
+    v_p * log_alpha_w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gp_bound_is_small_and_grows_with_x() {
+        assert_eq!(v_gp(0.5), 2.0);
+        assert_eq!(v_gp(0.8), 5.0);
+        assert_eq!(v_gp(0.9), 10.0);
+        // Paper Sec. 4.2: raising x from 0.80 to 0.90 doubles GP's bound...
+        assert_eq!(v_gp(0.9) / v_gp(0.8), 2.0);
+    }
+
+    #[test]
+    fn ngp_bound_explodes_with_x() {
+        let lw = (1_000_000f64).ln(); // ≈ 13.8
+        assert_eq!(v_ngp(0.5, lw), 1.0);
+        // ...while nGP's grows by log^5 W over the same step (Sec. 4.2).
+        let at80 = v_ngp(0.8, lw);
+        let at90 = v_ngp(0.9, lw);
+        let ratio = at90 / at80;
+        let log5 = lw.powi(5);
+        assert!((ratio / log5 - 1.0).abs() < 1e-9, "ratio {ratio} vs log^5 W {log5}");
+    }
+
+    #[test]
+    fn ngp_equals_gp_at_half() {
+        // At x = 0.5 both schemes need every busy PE to donate once.
+        let lw = 20.0;
+        assert_eq!(v_ngp(0.5, lw), 1.0);
+        assert_eq!(v_ngp(0.3, lw), 1.0);
+    }
+
+    #[test]
+    fn exponent_matches_formula() {
+        let lw = 10.0f64;
+        // x = 0.75: exponent (1.5-1)/0.25 = 2.
+        assert!((v_ngp(0.75, lw) - 100.0).abs() < 1e-9);
+        // x = 2/3: exponent (4/3-1)/(1/3) = 1.
+        assert!((v_ngp(2.0 / 3.0, lw) - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn transfer_bound_scales_linearly() {
+        assert_eq!(total_transfer_bound(5.0, 14.0), 70.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "x must be in")]
+    fn x_of_one_rejected() {
+        let _ = v_gp(1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Distributional statistics over per-processor counters — used to
+//! quantify GP's design goal: "to try to evenly distribute the burden of
+//! sharing work among the processors" (Sec. 2.2). Under nGP the donation
+//! burden concentrates on low-index processors; under GP it spreads
+//! round-robin. The Gini coefficient of the donation-count vector makes
+//! that difference a single number.
+
+/// Summary statistics of a non-negative counter vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CounterStats {
+    /// Number of counters.
+    pub n: usize,
+    /// Sum of all counters.
+    pub total: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum value.
+    pub min: u64,
+    /// Maximum value.
+    pub max: u64,
+    /// Population standard deviation.
+    pub stddev: f64,
+    /// Gini coefficient in `[0, 1)`: 0 = perfectly even, → 1 = all load on
+    /// one element. Defined as 0 for an all-zero vector.
+    pub gini: f64,
+}
+
+/// Compute [`CounterStats`] for `counts`.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn counter_stats(counts: &[u32]) -> CounterStats {
+    assert!(!counts.is_empty(), "need at least one counter");
+    let n = counts.len();
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    let mean = total as f64 / n as f64;
+    let min = counts.iter().copied().min().unwrap() as u64;
+    let max = counts.iter().copied().max().unwrap() as u64;
+    let var =
+        counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    CounterStats { n, total, mean, min, max, stddev: var.sqrt(), gini: gini(counts) }
+}
+
+/// Gini coefficient of a non-negative integer vector (0 for all-zero).
+///
+/// Uses the sorted-rank formula
+/// `G = (2 Σ_i i·x_(i) / (n Σ x)) - (n + 1)/n` with 1-based ranks over the
+/// ascending sort.
+pub fn gini(counts: &[u32]) -> f64 {
+    let n = counts.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().map(|&c| c as u64).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u32> = counts.to_vec();
+    sorted.sort_unstable();
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_vector_has_zero_gini() {
+        let stats = counter_stats(&[5, 5, 5, 5]);
+        assert!(stats.gini.abs() < 1e-12);
+        assert_eq!(stats.mean, 5.0);
+        assert_eq!(stats.stddev, 0.0);
+        assert_eq!(stats.total, 20);
+    }
+
+    #[test]
+    fn concentrated_vector_has_high_gini() {
+        // All donations from one of 10 processors: G = (n-1)/n = 0.9.
+        let mut v = vec![0u32; 10];
+        v[3] = 100;
+        let g = gini(&v);
+        assert!((g - 0.9).abs() < 1e-12, "g = {g}");
+    }
+
+    #[test]
+    fn gini_is_scale_invariant() {
+        let a = gini(&[1, 2, 3, 4]);
+        let b = gini(&[10, 20, 30, 40]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_is_permutation_invariant() {
+        assert_eq!(gini(&[1, 5, 2, 9]), gini(&[9, 1, 5, 2]));
+    }
+
+    #[test]
+    fn all_zero_is_defined_as_zero() {
+        assert_eq!(gini(&[0, 0, 0]), 0.0);
+        let stats = counter_stats(&[0, 0, 0]);
+        assert_eq!(stats.gini, 0.0);
+        assert_eq!(stats.max, 0);
+    }
+
+    #[test]
+    fn known_gini_value() {
+        // [0, 0, 10, 10]: sorted ranks give G = 0.5.
+        let g = gini(&[0, 0, 10, 10]);
+        assert!((g - 0.5).abs() < 1e-12, "g = {g}");
+    }
+
+    #[test]
+    fn stats_min_max() {
+        let s = counter_stats(&[3, 9, 1]);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_rejected() {
+        let _ = counter_stats(&[]);
+    }
+}

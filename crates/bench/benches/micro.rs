@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the substrate operations whose costs the
+//! paper's model abstracts into `U_calc` and `t_lb`: node expansion, stack
+//! splitting, scans, and rendezvous matching. These quantify the *host*
+//! cost of simulating one machine operation (the simulated costs are fixed
+//! by the cost model, not by these timings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uts_puzzle15::{korf_instances, Puzzle15, PuzzleState};
+use uts_scan::{enumerate_marked, exclusive_sum, rendezvous_match_from};
+use uts_synth::GeometricTree;
+use uts_tree::{serial_dfs, SearchStack, SplitPolicy, TreeProblem};
+
+fn bench_scans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scan");
+    for size in [1usize << 10, 1 << 13, 1 << 16] {
+        let xs: Vec<u64> = (0..size as u64).map(|i| i % 7).collect();
+        g.throughput(Throughput::Elements(size as u64));
+        g.bench_with_input(BenchmarkId::new("exclusive_sum", size), &xs, |b, xs| {
+            b.iter(|| exclusive_sum(black_box(xs)))
+        });
+        let flags: Vec<bool> = (0..size).map(|i| i % 3 == 0).collect();
+        g.bench_with_input(BenchmarkId::new("enumerate_marked", size), &flags, |b, f| {
+            b.iter(|| enumerate_marked(black_box(f)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rendezvous");
+    for p in [1024usize, 8192] {
+        let busy: Vec<bool> = (0..p).map(|i| i % 3 != 0).collect();
+        let idle: Vec<bool> = busy.iter().map(|&b| !b).collect();
+        g.throughput(Throughput::Elements(p as u64));
+        g.bench_with_input(BenchmarkId::new("match_from", p), &p, |b, _| {
+            b.iter(|| rendezvous_match_from(black_box(&busy), black_box(&idle), black_box(17)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_puzzle_expansion(c: &mut Criterion) {
+    let inst = korf_instances()[0];
+    let puzzle = Puzzle15::new(inst.board());
+    let root = PuzzleState::new(inst.board());
+    c.bench_function("puzzle15/expand_one_state", |b| {
+        let mut out = Vec::with_capacity(4);
+        b.iter(|| {
+            out.clear();
+            use uts_tree::HeuristicProblem;
+            puzzle.successors(black_box(&root), &mut out);
+            black_box(out.len())
+        })
+    });
+}
+
+fn bench_serial_dfs(c: &mut Criterion) {
+    // A ~20k-node synthetic tree: measures end-to-end nodes/second of the
+    // expansion machinery (stack + generator).
+    let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 6 };
+    let w = serial_dfs(&tree).expanded;
+    let mut g = c.benchmark_group("serial_dfs");
+    g.throughput(Throughput::Elements(w));
+    g.bench_function("geometric_tree", |b| b.iter(|| serial_dfs(black_box(&tree)).expanded));
+    g.finish();
+}
+
+fn bench_split(c: &mut Criterion) {
+    // Splitting cost on a realistic deep stack.
+    let mut g = c.benchmark_group("stack_split");
+    for policy in [SplitPolicy::Bottom, SplitPolicy::Half, SplitPolicy::Top] {
+        g.bench_function(format!("{policy:?}"), |b| {
+            b.iter_batched(
+                || {
+                    let tree = GeometricTree { seed: 3, b_max: 8, depth_limit: 6 };
+                    let mut s = SearchStack::from_root(tree.root());
+                    let mut children = Vec::new();
+                    for _ in 0..200 {
+                        if let Some(n) = s.pop_next() {
+                            children.clear();
+                            tree.expand(&n, &mut children);
+                            s.push_frame(std::mem::take(&mut children));
+                        }
+                    }
+                    s
+                },
+                |mut s| black_box(s.split(policy)),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scans,
+    bench_matching,
+    bench_puzzle_expansion,
+    bench_serial_dfs,
+    bench_split
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion benches of the *real* host-parallel executors (`uts-par`)
+//! against serial DFS, on the same trees the simulator runs. Wall-clock
+//! speedup here depends on the host core count; the interesting ablation
+//! is the overhead each execution strategy adds at a fixed thread count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uts_par::{deque_dfs, rayon_dfs};
+use uts_problems::NQueens;
+use uts_synth::find_tree;
+use uts_tree::serial_dfs;
+
+fn bench_hosts_on_synth(c: &mut Criterion) {
+    let st = find_tree(120_000, 0.15, 64);
+    let mut g = c.benchmark_group("host_dfs/synthetic");
+    g.throughput(Throughput::Elements(st.w));
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| serial_dfs(black_box(&st.tree)).expanded));
+    for depth in [3usize, 6] {
+        g.bench_with_input(BenchmarkId::new("rayon_fork_join", depth), &depth, |b, &d| {
+            b.iter(|| rayon_dfs(black_box(&st.tree), d).expanded)
+        });
+    }
+    for threads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("deque_pool", threads), &threads, |b, &t| {
+            b.iter(|| deque_dfs(black_box(&st.tree), t).expanded)
+        });
+    }
+    g.finish();
+}
+
+fn bench_hosts_on_nqueens(c: &mut Criterion) {
+    let q = NQueens::new(10);
+    let w = serial_dfs(&q).expanded;
+    let mut g = c.benchmark_group("host_dfs/nqueens10");
+    g.throughput(Throughput::Elements(w));
+    g.sample_size(10);
+    g.bench_function("serial", |b| b.iter(|| serial_dfs(black_box(&q)).expanded));
+    g.bench_function("rayon_fork_join", |b| b.iter(|| rayon_dfs(black_box(&q), 4).expanded));
+    g.bench_function("deque_pool_4", |b| b.iter(|| deque_dfs(black_box(&q), 4).expanded));
+    g.finish();
+}
+
+criterion_group!(benches, bench_hosts_on_synth, bench_hosts_on_nqueens);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Empirical study of the Appendix A/B transfer bounds and the
+//! alpha-splitting model.
+//!
+//! ```text
+//! cargo run --release -p uts-bench --bin bounds -- [--quick]
+//! ```
+//!
+//! Appendix A bounds the number of balancing phases by
+//! `V(P) · log_{1/(1-α)} W`, where α is the splitting quality: every split
+//! leaves each part with at least an α-fraction of the work. α is not
+//! directly observable (subtree sizes are unknown until searched), but it
+//! can be *inferred*: for GP-S^x, `V(P) = ceil(1/(1-x))`, so the α at
+//! which the bound is tight on a measured run is
+//!
+//! ```text
+//! alpha_implied = 1 - exp( - ln W / (N_lb_measured · (1 - x)) )
+//! ```
+//!
+//! The alpha-splitting model predicts this implied α is a property of the
+//! *splitter* (bottom-of-stack donation on this workload), roughly
+//! constant across W and x. This binary measures it, then re-checks the
+//! Appendix A bound for every run at the most conservative implied α.
+
+use uts_analysis::table::TextTable;
+use uts_analysis::{total_transfer_bound, v_gp, v_ngp};
+use uts_bench::parse_quick;
+use uts_bench::runner::{PAPER_P, QUICK_P};
+use uts_bench::workloads::{run_workload, table_workloads};
+use uts_core::Scheme;
+use uts_machine::CostModel;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (_, quick) = parse_quick(&args);
+    let p = if quick { QUICK_P } else { PAPER_P };
+    let mut workloads = table_workloads().to_vec();
+    if quick {
+        for wl in &mut workloads {
+            wl.bound -= 4;
+            wl.w = 0;
+        }
+        workloads.truncate(2);
+    }
+
+    // Pass 1: infer alpha from the GP runs (V(P) is exact for GP).
+    println!("== Appendix A/B: the alpha-splitting model, measured ==\n");
+    println!("-- implied splitting quality alpha (GP-S^x runs; V(P) = ceil(1/(1-x))) --");
+    let mut t = TextTable::new(vec!["W", "x", "Nlb", "implied alpha"]);
+    let mut alphas = Vec::new();
+    for wl in &workloads {
+        for &x in &[0.6, 0.8, 0.9] {
+            let out = run_workload(wl, Scheme::gp_static(x), p, CostModel::cm2(), false);
+            let w = out.report.nodes_expanded as f64;
+            let n_lb = out.report.n_lb as f64;
+            let alpha = 1.0 - (-w.ln() / (n_lb * (1.0 - x))).exp();
+            alphas.push(alpha);
+            t.row(vec![
+                format!("{w:.0}"),
+                format!("{x:.1}"),
+                out.report.n_lb.to_string(),
+                format!("{alpha:.3}"),
+            ]);
+        }
+    }
+    println!("{t}");
+    let (min_a, max_a) = alphas
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+    println!(
+        "implied alpha range: [{min_a:.3}, {max_a:.3}] — {}",
+        if max_a / min_a.max(1e-9) < 3.0 {
+            "stable across W and x, as the alpha-splitting model assumes"
+        } else {
+            "UNSTABLE: the constant-alpha model does not fit this splitter"
+        }
+    );
+
+    // Pass 2: re-check the Appendix A bound for every run at the most
+    // conservative implied alpha.
+    let alpha = min_a;
+    let log_base = (1.0 / (1.0 - alpha)).ln();
+    println!("\n-- Appendix A bound check at alpha = {alpha:.3} (most conservative) --");
+    let mut t = TextTable::new(vec!["W", "scheme", "x", "Nlb", "bound", "ratio"]);
+    let mut worst: f64 = 0.0;
+    for wl in &workloads {
+        for &x in &[0.6, 0.8, 0.9] {
+            for (name, scheme, is_gp) in [
+                ("GP", Scheme::gp_static(x), true),
+                ("nGP", Scheme::ngp_static(x), false),
+            ] {
+                let out = run_workload(wl, scheme, p, CostModel::cm2(), false);
+                let w = out.report.nodes_expanded as f64;
+                let log_w = w.ln() / log_base;
+                let v = if is_gp { v_gp(x) } else { v_ngp(x, log_w) };
+                let bound = total_transfer_bound(v, log_w);
+                let ratio = out.report.n_lb as f64 / bound;
+                worst = worst.max(ratio);
+                t.row(vec![
+                    format!("{w:.0}"),
+                    name.to_string(),
+                    format!("{x:.1}"),
+                    out.report.n_lb.to_string(),
+                    format!("{bound:.0}"),
+                    format!("{ratio:.3}"),
+                ]);
+            }
+        }
+    }
+    println!("{t}");
+    // The inferred alpha comes from the GP runs alone; nGP's worst-case
+    // derivation (Appendix B) uses a slightly different consumption
+    // argument, so small excursions above 1.0 are expected there. Beyond
+    // ~25% the constant-alpha model would genuinely misfit.
+    println!(
+        "worst measured/bound ratio: {worst:.3} — {}",
+        if worst <= 1.25 {
+            "every run is consistent with the Appendix A/B bounds at the inferred alpha"
+        } else {
+            "bound exceeded by more than the cross-scheme slack (model misfit)"
+        }
+    );
+    println!(
+        "\n(nGP's bound at high x is astronomically loose — (log W)^{{(2x-1)/(1-x)}}\n\
+         — which is the paper's point: the guarantee degrades with x, and the\n\
+         measured N_lb of Table 2 / Fig. 3 climbs accordingly.)"
+    );
+}

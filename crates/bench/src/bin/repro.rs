@@ -1,0 +1,62 @@
+//! Run the entire reproduction — every table and figure — in one go.
+//!
+//! ```text
+//! cargo run --release -p uts-bench --bin repro -- [--quick]
+//! ```
+//!
+//! This simply shells through the same code paths as the `tables` and
+//! `figures` binaries (it links them as a library would be overkill; the
+//! sections are re-invoked as child processes so each section's output is
+//! clearly delimited and a crash in one doesn't lose the rest).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let mut failures = 0;
+    for (bin, arg) in [
+        ("tables", "table1"),
+        ("tables", "table2"),
+        ("tables", "table3"),
+        ("tables", "table4"),
+        ("tables", "table5"),
+        ("tables", "table6"),
+        ("figures", "fig3"),
+        ("figures", "fig4"),
+        ("figures", "fig7"),
+        ("figures", "fig8"),
+        ("ablation", "all"),
+        ("bounds", "all"),
+        ("routing", "all"),
+        ("anomalies", "all"),
+        ("mimd", "compare"),
+    ] {
+        println!("\n######## {bin} {arg} ########\n");
+        let mut cmd = Command::new(exe_dir.join(bin));
+        cmd.arg(arg);
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("[{bin} {arg} exited with {s}]");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("[failed to launch {bin} {arg}: {e}]");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} section(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nAll sections completed.");
+}

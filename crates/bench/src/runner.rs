@@ -1,0 +1,105 @@
+//! Row-level helpers shared by the table binaries.
+
+use uts_analysis::table::{fmt_e, TextTable};
+use uts_core::{Outcome, Scheme};
+use uts_machine::CostModel;
+
+use crate::workloads::{run_workload, PaperWorkload};
+
+/// The paper's machine size for Tables 2–5.
+pub const PAPER_P: usize = 8192;
+
+/// Quick-mode machine size.
+pub const QUICK_P: usize = 512;
+
+/// The static thresholds of Table 2.
+pub const TABLE2_XS: [f64; 5] = [0.50, 0.60, 0.70, 0.80, 0.90];
+
+/// One measured cell of Table 2/4: the three numbers the paper reports.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Node-expansion cycles.
+    pub n_expand: u64,
+    /// Load-balancing phases (Table 2) — for Table 4 use `n_transfers`.
+    pub n_lb: u64,
+    /// Work transfers (`*N_lb`).
+    pub n_transfers: u64,
+    /// Efficiency.
+    pub e: f64,
+}
+
+impl From<&Outcome> for Cell {
+    fn from(out: &Outcome) -> Self {
+        Cell {
+            n_expand: out.report.n_expand,
+            n_lb: out.report.n_lb,
+            n_transfers: out.report.n_transfers,
+            e: out.report.efficiency,
+        }
+    }
+}
+
+/// Run a (workload, scheme) cell at the standard machine size.
+pub fn measure(wl: &PaperWorkload, scheme: Scheme, p: usize, cost: CostModel) -> Cell {
+    Cell::from(&run_workload(wl, scheme, p, cost, false))
+}
+
+/// Render a Table-2-shaped block: one row group per workload with
+/// `Nexpand`, `Nlb`, `E` for each (x, scheme) pair.
+pub fn table2_block(
+    rows: &[(u64, Vec<(String, Cell)>)], // (measured W, [(col label, cell)])
+) -> TextTable {
+    let mut header = vec!["W".to_string(), "metric".to_string()];
+    if let Some((_, cols)) = rows.first() {
+        header.extend(cols.iter().map(|(l, _)| l.clone()));
+    }
+    let mut t = TextTable::new(header);
+    for (w, cols) in rows {
+        t.row(
+            std::iter::once(w.to_string())
+                .chain(std::iter::once("Nexpand".to_string()))
+                .chain(cols.iter().map(|(_, c)| c.n_expand.to_string()))
+                .collect(),
+        );
+        t.row(
+            std::iter::once(String::new())
+                .chain(std::iter::once("Nlb".to_string()))
+                .chain(cols.iter().map(|(_, c)| c.n_lb.to_string()))
+                .collect(),
+        );
+        t.row(
+            std::iter::once(String::new())
+                .chain(std::iter::once("E".to_string()))
+                .chain(cols.iter().map(|(_, c)| fmt_e(c.e)))
+                .collect(),
+        );
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::table_workloads;
+
+    #[test]
+    fn measure_produces_consistent_cell() {
+        let mut wl = table_workloads()[0];
+        wl.bound = 33;
+        let cell = measure(&wl, Scheme::gp_static(0.7), 64, CostModel::cm2());
+        assert!(cell.n_expand > 0);
+        assert!(cell.e > 0.0 && cell.e <= 1.0);
+        assert!(cell.n_transfers >= cell.n_lb.min(1));
+    }
+
+    #[test]
+    fn table2_block_renders_row_groups() {
+        let cell = Cell { n_expand: 198, n_lb: 54, n_transfers: 100, e: 0.52 };
+        let rows = vec![(941_852u64, vec![("nGP 0.50".to_string(), cell)])];
+        let t = table2_block(&rows);
+        let s = t.to_string();
+        assert!(s.contains("Nexpand"));
+        assert!(s.contains("198"));
+        assert!(s.contains("0.52"));
+    }
+}

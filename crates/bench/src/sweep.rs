@@ -1,0 +1,125 @@
+//! The (W, P) sweeps behind the isoefficiency figures (Figs. 4 & 7).
+//!
+//! The paper built its experimental isoefficiency graphs "by performing a
+//! large number of experiments for a range of W and P, and then collecting
+//! the points with equal efficiency" (Sec. 5). We sweep seeded synthetic
+//! trees (calibrated to a geometric ladder of sizes) across a ladder of
+//! machine sizes, then hand the samples to `uts_analysis::extract_contour`.
+
+use uts_analysis::{extract_contour, fit_power_law, ContourPoint, Sample};
+use uts_core::{run, EngineConfig, Scheme};
+use uts_machine::CostModel;
+use uts_synth::{find_tree, SizedTree};
+
+/// Sweep grid configuration.
+#[derive(Debug, Clone)]
+pub struct SweepGrid {
+    /// Machine sizes.
+    pub ps: Vec<usize>,
+    /// Target tree sizes (trees are calibrated to ±10% of these).
+    pub w_targets: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// The full-scale grid (P up to the paper's 8192).
+    pub fn full() -> Self {
+        Self {
+            ps: vec![512, 1024, 2048, 4096, 8192],
+            w_targets: vec![65_536, 262_144, 1_048_576, 4_194_304, 16_777_216],
+        }
+    }
+
+    /// Quick grid for smoke runs.
+    pub fn quick() -> Self {
+        Self { ps: vec![64, 128, 256], w_targets: vec![8_192, 32_768, 131_072] }
+    }
+}
+
+/// Calibrate one synthetic tree per target size (shared across schemes so
+/// every scheme sees the identical search spaces).
+pub fn calibrated_trees(grid: &SweepGrid) -> Vec<SizedTree> {
+    grid.w_targets.iter().map(|&t| find_tree(t, 0.10, 64)).collect()
+}
+
+/// Run the sweep for one scheme, returning `(P, W, E)` samples.
+pub fn sweep_scheme(
+    scheme: Scheme,
+    grid: &SweepGrid,
+    trees: &[SizedTree],
+    cost: CostModel,
+) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for &p in &grid.ps {
+        for st in trees {
+            let cfg = EngineConfig::new(p, scheme, cost);
+            let out = run(&st.tree, &cfg);
+            samples.push(Sample { p, w: st.w, e: out.report.efficiency });
+        }
+    }
+    samples
+}
+
+/// An extracted isoefficiency curve plus its `W ∝ (P log2 P)^b` fit.
+#[derive(Debug, Clone)]
+pub struct IsoCurve {
+    /// Target efficiency.
+    pub e: f64,
+    /// Contour points.
+    pub points: Vec<ContourPoint>,
+    /// Power-law exponent of W against `P log2 P` (1.0 = the paper's
+    /// "highly scalable" O(P log P) shape), if ≥ 2 points were found.
+    pub exponent: Option<f64>,
+}
+
+/// Extract contours at the given efficiency levels and fit each.
+pub fn iso_curves(samples: &[Sample], levels: &[f64]) -> Vec<IsoCurve> {
+    levels
+        .iter()
+        .map(|&e| {
+            let points = extract_contour(samples, e);
+            let exponent = if points.len() >= 2 {
+                let pts: Vec<(f64, f64)> = points
+                    .iter()
+                    .map(|c| (c.p as f64 * (c.p as f64).log2(), c.w))
+                    .collect();
+                Some(fit_power_law(&pts).b)
+            } else {
+                None
+            };
+            IsoCurve { e, points, exponent }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_sweep_produces_full_grid() {
+        let grid = SweepGrid::quick();
+        let trees = calibrated_trees(&grid);
+        assert_eq!(trees.len(), grid.w_targets.len());
+        let samples = sweep_scheme(Scheme::gp_static(0.8), &grid, &trees, CostModel::cm2());
+        assert_eq!(samples.len(), grid.ps.len() * trees.len());
+        // Efficiency rises with W at fixed P.
+        for &p in &grid.ps {
+            let es: Vec<f64> =
+                samples.iter().filter(|s| s.p == p).map(|s| s.e).collect();
+            assert!(es.windows(2).all(|w| w[1] >= w[0] - 0.02), "P={p}: {es:?}");
+        }
+    }
+
+    #[test]
+    fn iso_curves_fit_exponents_when_bracketed() {
+        let grid = SweepGrid::quick();
+        let trees = calibrated_trees(&grid);
+        let samples = sweep_scheme(Scheme::gp_static(0.8), &grid, &trees, CostModel::cm2());
+        let curves = iso_curves(&samples, &[0.5]);
+        assert_eq!(curves.len(), 1);
+        if curves[0].points.len() >= 2 {
+            let b = curves[0].exponent.unwrap();
+            assert!(b > 0.0, "contours must rise with P, b={b}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Flag parsing and the small grammars for schemes, cost models and
+//! workloads.
+
+use std::collections::BTreeMap;
+
+use uts_core::Scheme;
+use uts_machine::CostModel;
+use uts_puzzle15::{korf_instances, Instance};
+
+/// Parsed `--key value` flags.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parse a `--key value --key2 value2 …` argument list.
+    pub fn parse<S: AsRef<str>>(args: &[S]) -> Result<Flags, String> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let arg = arg.as_ref();
+            let key = arg
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("flag --{key} needs a value"))?
+                .as_ref()
+                .to_string();
+            values.insert(key.to_string(), value);
+        }
+        Ok(Flags { values })
+    }
+
+    /// Raw value of a flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Parse a flag's value, falling back to `default` when absent.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`"))
+            }
+        }
+    }
+}
+
+/// Parse a scheme name (`gp-s:0.8`, `ngp-dk`, `fess`, …).
+pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    if let Some(x) = s.strip_prefix("gp-s:") {
+        return static_threshold(x).map(Scheme::gp_static);
+    }
+    if let Some(x) = s.strip_prefix("ngp-s:") {
+        return static_threshold(x).map(Scheme::ngp_static);
+    }
+    match s {
+        "gp-dk" => Ok(Scheme::gp_dk()),
+        "ngp-dk" => Ok(Scheme::ngp_dk()),
+        "gp-dp" => Ok(Scheme::gp_dp()),
+        "ngp-dp" => Ok(Scheme::ngp_dp()),
+        "fess" => Ok(Scheme::fess()),
+        "fegs" => Ok(Scheme::fegs()),
+        other => Err(format!("unknown scheme `{other}`")),
+    }
+}
+
+fn static_threshold(x: &str) -> Result<f64, String> {
+    let x: f64 = x.parse().map_err(|_| format!("bad static threshold `{x}`"))?;
+    if (0.0..=1.0).contains(&x) {
+        Ok(x)
+    } else {
+        Err(format!("static threshold {x} must lie in [0, 1]"))
+    }
+}
+
+/// Parse a cost-model name.
+pub fn parse_cost(s: &str) -> Result<CostModel, String> {
+    match s {
+        "cm2" => Ok(CostModel::cm2()),
+        "hypercube" => Ok(CostModel::hypercube()),
+        "mesh" => Ok(CostModel::mesh()),
+        other => Err(format!("unknown cost model `{other}` (cm2|hypercube|mesh)")),
+    }
+}
+
+/// Which 15-puzzle workload to search.
+#[derive(Debug, Clone, Copy)]
+pub enum WorkloadSpec {
+    /// An embedded Korf benchmark instance.
+    Korf(u32),
+    /// A seeded scramble.
+    Scramble {
+        /// RNG seed.
+        seed: u64,
+        /// Walk length.
+        walk: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Materialize the instance.
+    pub fn instance(self) -> Instance {
+        match self {
+            WorkloadSpec::Korf(id) => *korf_instances()
+                .iter()
+                .find(|i| i.id == id)
+                .expect("validated by parse_workload"),
+            WorkloadSpec::Scramble { seed, walk } => uts_puzzle15::scrambled(seed, walk),
+        }
+    }
+}
+
+/// Extract a workload from `--korf K` or `--seed S --walk N` flags
+/// (defaults: scramble seed 42, walk 40).
+pub fn parse_workload(flags: &Flags) -> Result<WorkloadSpec, String> {
+    if let Some(k) = flags.get("korf") {
+        let id: u32 = k.parse().map_err(|_| format!("--korf: bad id `{k}`"))?;
+        if !korf_instances().iter().any(|i| i.id == id) {
+            return Err(format!(
+                "--korf {id}: not an embedded instance (have 1..={})",
+                korf_instances().last().expect("non-empty set").id
+            ));
+        }
+        return Ok(WorkloadSpec::Korf(id));
+    }
+    let seed = flags.get_parsed("seed", 42u64)?;
+    let walk = flags.get_parsed("walk", 40usize)?;
+    Ok(WorkloadSpec::Scramble { seed, walk })
+}

@@ -1,0 +1,147 @@
+//! Command implementations. Each returns `Result<(), String>`; `main`
+//! prints the error + usage on failure.
+
+use uts_analysis::{optimal_static_trigger, TriggerParams};
+use uts_core::{run, EngineConfig, Scheme};
+use uts_machine::CostModel;
+use uts_mimd::{run_mimd, MimdConfig, StealPolicy};
+use uts_par::deque_dfs;
+use uts_problems::{random_3sat, Dpll, NQueens};
+use uts_puzzle15::Puzzle15;
+use uts_tree::ida::ida_star;
+use uts_tree::problem::BoundedProblem;
+use uts_tree::serial_dfs;
+
+use crate::args::{parse_cost, parse_scheme, parse_workload, Flags};
+
+/// `sts solve`: serial IDA\* on a 15-puzzle.
+pub fn solve(flags: &Flags) -> Result<(), String> {
+    let spec = parse_workload(flags)?;
+    let inst = spec.instance();
+    let puzzle = Puzzle15::new(inst.board());
+    println!("{}", puzzle.start());
+    let r = ida_star(&puzzle, flags.get_parsed("max-bound", 80u32)?);
+    for it in &r.iterations {
+        println!("bound {:3}: {:>12} nodes, {} goal(s)", it.bound, it.expanded, it.goals);
+    }
+    match r.solution_cost {
+        Some(c) => println!("optimal solution cost: {c}"),
+        None => println!("no solution within the bound"),
+    }
+    Ok(())
+}
+
+/// `sts run`: parallel SIMD search of one bounded iteration.
+pub fn run_simd(flags: &Flags) -> Result<(), String> {
+    let spec = parse_workload(flags)?;
+    let p = flags.get_parsed("p", 1024usize)?;
+    let scheme = match flags.get("scheme") {
+        Some(s) => parse_scheme(s)?,
+        None => Scheme::gp_dk(),
+    };
+    let cost = match flags.get("cost") {
+        Some(c) => parse_cost(c)?,
+        None => CostModel::cm2(),
+    };
+    let cost = cost.with_lb_multiplier(flags.get_parsed("lb-mult", 1u32)?);
+
+    let inst = spec.instance();
+    let puzzle = Puzzle15::new(inst.board());
+    // Bound: explicit flag, else the final IDA* bound.
+    let bound = match flags.get("bound") {
+        Some(b) => b.parse().map_err(|_| format!("--bound: bad value `{b}`"))?,
+        None => ida_star(&puzzle, 80)
+            .solution_cost
+            .ok_or("instance not solvable within bound 80")?,
+    };
+    let bp = BoundedProblem::new(&puzzle, bound);
+    let cfg = EngineConfig::new(p, scheme, cost);
+    let out = run(&bp, &cfg);
+    println!("scheme        : {}", scheme.name());
+    println!("P             : {p}");
+    println!("bound         : {bound}");
+    println!("W (nodes)     : {}", out.report.nodes_expanded);
+    println!("goals         : {}", out.goals);
+    println!("Nexpand cycles: {}", out.report.n_expand);
+    println!("Nlb phases    : {}", out.report.n_lb);
+    println!("work transfers: {}", out.report.n_transfers);
+    println!("peak PE stack : {}", out.peak_stack_nodes);
+    println!("T_par (virt s): {:.2}", out.report.t_par as f64 / 1e6);
+    println!("speedup       : {:.1}", out.report.speedup());
+    println!("efficiency    : {:.3}", out.report.efficiency);
+    Ok(())
+}
+
+/// `sts mimd`: asynchronous work stealing on the same workload.
+pub fn run_mimd_cmd(flags: &Flags) -> Result<(), String> {
+    let spec = parse_workload(flags)?;
+    let p = flags.get_parsed("p", 1024usize)?;
+    let policy = match flags.get("policy").unwrap_or("rp") {
+        "grr" => StealPolicy::GlobalRoundRobin,
+        "arr" => StealPolicy::AsyncRoundRobin,
+        "rp" => StealPolicy::RandomPolling,
+        "nn" => StealPolicy::NeighborPolling,
+        other => return Err(format!("unknown policy `{other}` (grr|arr|rp|nn)")),
+    };
+    let inst = spec.instance();
+    let puzzle = Puzzle15::new(inst.board());
+    let bound = ida_star(&puzzle, 80).solution_cost.ok_or("unsolvable within bound 80")?;
+    let bp = BoundedProblem::new(&puzzle, bound);
+    let m = run_mimd(&bp, &MimdConfig::new(p, policy, CostModel::cm2()));
+    println!("policy     : {}", policy.name());
+    println!("W (nodes)  : {}", m.nodes_expanded);
+    println!("requests   : {}", m.requests);
+    println!("steals     : {}", m.transfers);
+    println!("efficiency : {:.3}", m.efficiency);
+    Ok(())
+}
+
+/// `sts queens`: N-queens on serial / SIMD / host-parallel engines.
+pub fn queens(flags: &Flags) -> Result<(), String> {
+    let n = flags.get_parsed("n", 10u8)?;
+    let p = flags.get_parsed("p", 256usize)?;
+    let q = NQueens::new(n);
+    let serial = serial_dfs(&q);
+    println!("{n}-queens: W = {}, solutions = {}", serial.expanded, serial.goals);
+    let out = run(&q, &EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2()));
+    println!("SIMD GP-D^K (P={p}): E = {:.3}, speedup {:.1}", out.report.efficiency, out.report.speedup());
+    let host = deque_dfs(&q, 4);
+    println!("host pool (4 threads): {} steals, per-worker {:?}", host.steals, host.per_worker);
+    assert_eq!(out.goals, serial.goals);
+    assert_eq!(host.goals, serial.goals);
+    Ok(())
+}
+
+/// `sts sat`: DPLL model counting.
+pub fn sat(flags: &Flags) -> Result<(), String> {
+    let vars = flags.get_parsed("vars", 24u32)?;
+    let clauses = flags.get_parsed("clauses", vars * 3)?;
+    let seed = flags.get_parsed("seed", 0u64)?;
+    let dpll = Dpll::new(random_3sat(seed, vars, clauses));
+    let serial = serial_dfs(&dpll);
+    println!(
+        "3-SAT {vars}x{clauses} (seed {seed}): {} models over {} DPLL nodes",
+        serial.goals, serial.expanded
+    );
+    let out = run(&dpll, &EngineConfig::new(256, Scheme::gp_dk(), CostModel::cm2()));
+    assert_eq!(out.goals, serial.goals);
+    println!("SIMD GP-D^K (P=256): E = {:.3}", out.report.efficiency);
+    Ok(())
+}
+
+/// `sts xo`: the optimal static trigger of eq. 18.
+pub fn xo(flags: &Flags) -> Result<(), String> {
+    let w: u64 = flags
+        .get("w")
+        .ok_or("--w <problem size> is required")?
+        .parse()
+        .map_err(|_| "--w: not a number".to_string())?;
+    let p = flags.get_parsed("p", 8192usize)?;
+    let ratio = flags.get_parsed("ratio", CostModel::cm2().lb_ratio(p))?;
+    let params = TriggerParams::new(w, p, ratio);
+    println!(
+        "x_o(W={w}, P={p}, t_lb/U_calc={ratio:.3}) = {:.4}",
+        optimal_static_trigger(&params)
+    );
+    Ok(())
+}

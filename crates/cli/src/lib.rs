@@ -1,0 +1,86 @@
+//! Argument parsing and command implementations for the `sts` binary.
+//!
+//! The parsing layer is hand-rolled (no external CLI crates) and lives in
+//! this library so it is unit-testable; `main.rs` is a thin shim.
+
+pub mod args;
+pub mod commands;
+
+pub use args::{parse_cost, parse_scheme, parse_workload, Flags, WorkloadSpec};
+
+/// Exit with a usage message.
+pub const USAGE: &str = "\
+sts — unstructured tree search on (simulated) SIMD parallel computers
+
+USAGE:
+  sts solve   [--seed S] [--walk N | --korf K]          serial IDA* on a 15-puzzle
+  sts run     [--p P] [--scheme SCHEME] [--cost MODEL] [--lb-mult M]
+              [--seed S] [--walk N | --korf K] [--bound B]
+                                                         parallel SIMD search
+  sts mimd    [--p P] [--policy grr|arr|rp|nn] [--seed S] [--walk N]
+                                                         MIMD work stealing
+  sts queens  [--n N] [--p P]                            N-queens on all engines
+  sts sat     [--vars V] [--clauses C] [--seed S]        DPLL model counting
+  sts xo      --w W [--p P] [--ratio R]                  optimal static trigger
+
+SCHEMES: gp-s:<x>  ngp-s:<x>  gp-dk  ngp-dk  gp-dp  ngp-dp  fess  fegs
+COSTS:   cm2  hypercube  mesh
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uts_core::{Matching, Trigger};
+
+    #[test]
+    fn scheme_grammar_round_trips() {
+        let s = parse_scheme("gp-s:0.85").unwrap();
+        assert_eq!(s.matching, Matching::Gp);
+        assert!(matches!(s.trigger, Trigger::Static { x } if (x - 0.85).abs() < 1e-12));
+
+        assert!(parse_scheme("ngp-dk").unwrap().is_dynamic());
+        assert_eq!(parse_scheme("fess").unwrap(), uts_core::Scheme::fess());
+        assert_eq!(parse_scheme("fegs").unwrap(), uts_core::Scheme::fegs());
+        assert!(parse_scheme("bogus").is_err());
+        assert!(parse_scheme("gp-s:1.5").is_err(), "threshold must be a probability");
+        assert!(parse_scheme("gp-s:").is_err());
+    }
+
+    #[test]
+    fn cost_grammar() {
+        assert!(parse_cost("cm2").is_ok());
+        assert!(parse_cost("hypercube").is_ok());
+        assert!(parse_cost("mesh").is_ok());
+        assert!(parse_cost("torus").is_err());
+    }
+
+    #[test]
+    fn flags_parse_pairs_and_detect_unknowns() {
+        let f = Flags::parse(&["--p", "512", "--scheme", "gp-dk"]).unwrap();
+        assert_eq!(f.get("p"), Some("512"));
+        assert_eq!(f.get("scheme"), Some("gp-dk"));
+        assert_eq!(f.get_parsed::<usize>("p", 1).unwrap(), 512);
+        assert_eq!(f.get_parsed::<usize>("absent", 7).unwrap(), 7);
+        assert!(Flags::parse(&["--p"]).is_err(), "dangling flag");
+        assert!(Flags::parse(&["p", "512"]).is_err(), "positional junk");
+    }
+
+    #[test]
+    fn bad_numeric_flag_is_an_error_not_a_default() {
+        let f = Flags::parse(&["--p", "many"]).unwrap();
+        assert!(f.get_parsed::<usize>("p", 1).is_err());
+    }
+
+    #[test]
+    fn workload_spec_korf_and_scramble() {
+        let f = Flags::parse(&["--korf", "3"]).unwrap();
+        assert!(matches!(parse_workload(&f).unwrap(), WorkloadSpec::Korf(3)));
+        let f = Flags::parse(&["--seed", "9", "--walk", "40"]).unwrap();
+        match parse_workload(&f).unwrap() {
+            WorkloadSpec::Scramble { seed: 9, walk: 40 } => {}
+            other => panic!("{other:?}"),
+        }
+        let f = Flags::parse(&["--korf", "99"]).unwrap();
+        assert!(parse_workload(&f).is_err(), "only the embedded Korf ids exist");
+    }
+}

@@ -1,0 +1,29 @@
+//! `sts` — the command-line front end. See [`uts_cli::USAGE`].
+
+use uts_cli::{commands, Flags, USAGE};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = Flags::parse(rest).and_then(|flags| match cmd.as_str() {
+        "solve" => commands::solve(&flags),
+        "run" => commands::run_simd(&flags),
+        "mimd" => commands::run_mimd_cmd(&flags),
+        "queens" => commands::queens(&flags),
+        "sat" => commands::sat(&flags),
+        "xo" => commands::xo(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    });
+    if let Err(e) = result {
+        eprintln!("error: {e}\n");
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,55 @@
+//! Smoke tests of the CLI command implementations (called directly — the
+//! binary shim adds nothing but dispatch).
+
+use uts_cli::{commands, Flags};
+
+fn flags(pairs: &[&str]) -> Flags {
+    Flags::parse(pairs).expect("test flags parse")
+}
+
+#[test]
+fn solve_small_scramble() {
+    commands::solve(&flags(&["--seed", "7", "--walk", "14"])).expect("solve");
+}
+
+#[test]
+fn run_small_simd() {
+    commands::run_simd(&flags(&[
+        "--seed", "7", "--walk", "20", "--p", "32", "--scheme", "gp-s:0.7",
+    ]))
+    .expect("run");
+}
+
+#[test]
+fn run_rejects_bad_scheme() {
+    let err = commands::run_simd(&flags(&["--scheme", "wat"])).unwrap_err();
+    assert!(err.contains("unknown scheme"));
+}
+
+#[test]
+fn mimd_small() {
+    commands::run_mimd_cmd(&flags(&["--seed", "7", "--walk", "18", "--p", "16"]))
+        .expect("mimd");
+}
+
+#[test]
+fn mimd_rejects_bad_policy() {
+    let err = commands::run_mimd_cmd(&flags(&["--policy", "psychic"])).unwrap_err();
+    assert!(err.contains("unknown policy"));
+}
+
+#[test]
+fn queens_small() {
+    commands::queens(&flags(&["--n", "6", "--p", "8"])).expect("queens");
+}
+
+#[test]
+fn sat_small() {
+    commands::sat(&flags(&["--vars", "10", "--clauses", "30"])).expect("sat");
+}
+
+#[test]
+fn xo_requires_w() {
+    assert!(commands::xo(&flags(&[])).is_err());
+    commands::xo(&flags(&["--w", "941852", "--p", "8192"])).expect("xo");
+}

@@ -1,0 +1,559 @@
+//! The lockstep SIMD search engine (the algorithm of Sec. 2).
+//!
+//! "At any time, all the processors are either in a search phase or in a
+//! load balancing phase. In the search phase, each processor searches a
+//! disjoint part of the search space in a depth-first-search fashion by
+//! performing node expansion cycles in lock-step. ... All processors switch
+//! from the searching phase to the load balancing phase when a triggering
+//! condition is satisfied. In the load balancing phase, the busy processors
+//! split their work and share it with idle processors."
+//!
+//! The engine is cycle-quantized: one expansion cycle = every processor
+//! with a non-empty stack pops and expands exactly one node. Cycles are
+//! executed with rayon across the (independent) per-processor stacks, which
+//! changes wall-clock speed but not one bit of the simulated schedule.
+
+use rayon::prelude::*;
+use uts_machine::{CostModel, Report, SimdMachine};
+use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
+
+use crate::matcher::MatchState;
+use crate::scheme::{Scheme, TransferMode};
+use crate::trigger::{should_balance, TriggerCtx};
+
+/// Engine configuration: machine size, scheme, cost model, knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Ensemble size `P`.
+    pub p: usize,
+    /// The load-balancing scheme to run.
+    pub scheme: Scheme,
+    /// Machine timing model.
+    pub cost: CostModel,
+    /// Work-splitting policy (paper default: bottom-most alternative).
+    pub split: SplitPolicy,
+    /// Initial-distribution threshold: for dynamic triggers the paper runs
+    /// static triggering with x = 0.85 "until 85% of the processors became
+    /// active" (Sec. 7). `None` disables the special init phase (static
+    /// triggers distribute naturally from the first cycle).
+    pub init_fraction: Option<f64>,
+    /// Record the per-cycle active-processor trace (Fig. 8).
+    pub record_trace: bool,
+    /// Stop at the end of the cycle in which the first goal is found
+    /// (`false` = exhaustive search, the paper's anomaly-free setting).
+    pub stop_on_goal: bool,
+    /// Safety valve for tests: abort after this many expansion cycles.
+    pub max_cycles: Option<u64>,
+}
+
+impl EngineConfig {
+    /// A configuration with the paper's defaults for `scheme`: bottom
+    /// splitting, exhaustive search, and the 0.85 init phase iff the
+    /// trigger is dynamic.
+    pub fn new(p: usize, scheme: Scheme, cost: CostModel) -> Self {
+        Self {
+            p,
+            scheme,
+            cost,
+            split: SplitPolicy::Bottom,
+            init_fraction: scheme.is_dynamic().then_some(0.85),
+            record_trace: false,
+            stop_on_goal: false,
+            max_cycles: None,
+        }
+    }
+
+    /// Builder: enable the Fig. 8 active trace.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+
+    /// Builder: override the split policy (ablation).
+    pub fn with_split(mut self, split: SplitPolicy) -> Self {
+        self.split = split;
+        self
+    }
+}
+
+/// Result of a parallel run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Machine accounting (efficiency, `N_expand`, `N_lb`, traces, …).
+    /// `report.w` is set to the *measured* parallel node count; callers
+    /// holding an independently measured serial `W` can re-derive
+    /// efficiency via [`Outcome::efficiency_vs_serial`] (the two coincide
+    /// in the paper's exhaustive, anomaly-free setting).
+    pub report: Report,
+    /// Goal nodes found.
+    pub goals: u64,
+    /// True if `max_cycles` aborted the run before exhaustion.
+    pub truncated: bool,
+    /// How many times each processor donated work — the burden GP exists
+    /// to spread evenly ("to try to evenly distribute the burden of
+    /// sharing work among the processors", Sec. 2.2). Analyze with
+    /// `uts_analysis::stats` (e.g. the Gini coefficient).
+    pub donations: Vec<u32>,
+    /// High-water mark of untried alternatives on any single processor's
+    /// stack — the per-PE memory requirement. (Sec. 8 criticizes a
+    /// Frye–Myczkowski variant precisely because its memory requirements
+    /// "become unbounded"; this makes the quantity observable.)
+    pub peak_stack_nodes: usize,
+}
+
+impl Outcome {
+    /// Efficiency computed against an externally measured serial node
+    /// count (eq. 9's definition with `T_calc = W_serial · U_calc`).
+    pub fn efficiency_vs_serial(&self, w_serial: u64, cost: &CostModel) -> f64 {
+        let t_calc = w_serial as f64 * cost.u_calc as f64;
+        t_calc / (t_calc + self.report.t_idle as f64 + self.report.t_lb as f64)
+    }
+}
+
+/// Per-processor state: the DFS stack plus a reusable child buffer.
+struct Pe<N> {
+    stack: SearchStack<N>,
+    children: Vec<N>,
+}
+
+impl<N> Pe<N> {
+    fn new() -> Self {
+        Self { stack: SearchStack::new(), children: Vec::new() }
+    }
+}
+
+/// What one processor did in one expansion cycle.
+#[derive(Clone, Copy, Default)]
+struct CycleResult {
+    worked: bool,
+    goals: u64,
+}
+
+/// Run `problem` to exhaustion (or first goal) under `cfg`.
+pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    assert!(cfg.p > 0, "need at least one processor");
+    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+    machine.record_active_trace(cfg.record_trace);
+    let mut matcher = MatchState::new(cfg.scheme.matching);
+
+    let mut pes: Vec<Pe<P::Node>> = (0..cfg.p).map(|_| Pe::new()).collect();
+    pes[0].stack = SearchStack::from_root(problem.root());
+
+    let mut goals = 0u64;
+    let mut truncated = false;
+    let mut donations = vec![0u32; cfg.p];
+    let mut peak_stack_nodes = 1usize;
+    // The init phase (dynamic triggers): alternate cycle / balance until
+    // `init_fraction` of the PEs have work.
+    let mut in_init = cfg.init_fraction.is_some();
+
+    // Reusable flag vectors for the matching scans.
+    let mut busy_flags = vec![false; cfg.p];
+    let mut idle_flags = vec![false; cfg.p];
+
+    loop {
+        // ---- one lockstep expansion cycle ----
+        let cycle: Vec<CycleResult> = if cfg.p >= 64 {
+            pes.par_iter_mut().map(|pe| step_pe(problem, pe)).collect()
+        } else {
+            pes.iter_mut().map(|pe| step_pe(problem, pe)).collect()
+        };
+        let worked = cycle.iter().filter(|c| c.worked).count();
+        goals += cycle.iter().map(|c| c.goals).sum::<u64>();
+        machine.expansion_cycle(worked);
+
+        if cfg.stop_on_goal && goals > 0 {
+            break;
+        }
+        if cfg.max_cycles.is_some_and(|m| machine.metrics().n_expand >= m) {
+            truncated = true;
+            break;
+        }
+
+        // ---- census ----
+        let mut busy = 0usize;
+        let mut idle = 0usize;
+        let mut has_work = 0usize;
+        for (i, pe) in pes.iter().enumerate() {
+            let splittable = pe.stack.can_split();
+            let empty = pe.stack.is_empty();
+            busy_flags[i] = splittable;
+            idle_flags[i] = empty;
+            busy += splittable as usize;
+            idle += empty as usize;
+            has_work += (!empty) as usize;
+            peak_stack_nodes = peak_stack_nodes.max(pe.stack.len());
+        }
+        if has_work == 0 {
+            break; // space exhausted
+        }
+
+        // ---- trigger ----
+        let fire = if in_init {
+            let threshold = cfg.init_fraction.unwrap();
+            if (has_work as f64) >= threshold * cfg.p as f64 {
+                in_init = false;
+                // Hand over to the real trigger starting next cycle; do not
+                // balance on the handover cycle itself.
+                false
+            } else {
+                // Paper Sec. 7: during init every expansion cycle is
+                // followed by a distribution cycle (static x = 0.85 fires
+                // whenever A <= 0.85 P, which holds throughout init).
+                true
+            }
+        } else {
+            let ctx = TriggerCtx {
+                p: cfg.p,
+                busy,
+                idle,
+                phase: *machine.phase(),
+                u_calc: cfg.cost.u_calc,
+                l_estimate: machine.estimated_lb_cost(),
+            };
+            should_balance(cfg.scheme.trigger, &ctx)
+        };
+        if !fire || busy == 0 || idle == 0 {
+            continue;
+        }
+
+        // ---- load-balancing phase ----
+        let mut rounds = 0u32;
+        let mut transfers = 0u64;
+        match cfg.scheme.transfers {
+            TransferMode::Single => {
+                let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                rounds = 1;
+            }
+            TransferMode::Multiple => {
+                // Repeat rendezvous rounds until no idle PE can be fed
+                // (required for D^P, Sec. 2.3).
+                loop {
+                    refresh_flags(&pes, &mut busy_flags, &mut idle_flags);
+                    if !busy_flags.iter().any(|&b| b) || !idle_flags.iter().any(|&i| i) {
+                        break;
+                    }
+                    let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                    if pairs.is_empty() {
+                        break;
+                    }
+                    transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                    rounds += 1;
+                }
+            }
+            TransferMode::Equalize => {
+                // FEGS: move counted chunks until node counts are
+                // near-uniform (donors above average feed the poorest).
+                rounds = equalize(&mut pes, &mut transfers, &mut donations);
+            }
+        }
+        if rounds > 0 {
+            machine.lb_phase(rounds, transfers);
+        }
+        // If no transfer was possible the trigger may keep firing, but the
+        // `busy == 0 || idle == 0` guard above prevents livelock because a
+        // cycle always runs at the top of the loop.
+    }
+
+    let report = machine_report(machine);
+    Outcome { report, goals, truncated, donations, peak_stack_nodes }
+}
+
+fn machine_report(machine: SimdMachine) -> Report {
+    let w = machine.metrics().nodes_expanded;
+    machine.finish(w)
+}
+
+fn step_pe<P: TreeProblem>(problem: &P, pe: &mut Pe<P::Node>) -> CycleResult {
+    let Some(node) = pe.stack.pop_next() else {
+        return CycleResult::default();
+    };
+    let mut goals = 0;
+    if problem.is_goal(&node) {
+        goals = 1;
+    }
+    pe.children.clear();
+    problem.expand(&node, &mut pe.children);
+    pe.stack.push_frame(std::mem::take(&mut pe.children));
+    CycleResult { worked: true, goals }
+}
+
+fn refresh_flags<N>(pes: &[Pe<N>], busy: &mut [bool], idle: &mut [bool]) {
+    for (i, pe) in pes.iter().enumerate() {
+        busy[i] = pe.stack.can_split();
+        idle[i] = pe.stack.is_empty();
+    }
+}
+
+fn apply_pairs<N: Clone>(
+    pes: &mut [Pe<N>],
+    pairs: &[uts_scan::Pair],
+    split: SplitPolicy,
+    donations: &mut [u32],
+) -> u64 {
+    let mut done = 0;
+    for pair in pairs {
+        debug_assert_ne!(pair.donor, pair.receiver);
+        // Split out of the donor, then install in the receiver. Donors and
+        // receivers are disjoint sets, so index juggling is safe.
+        let donated = pes[pair.donor].stack.split(split);
+        if let Some(stack) = donated {
+            debug_assert!(pes[pair.receiver].stack.is_empty());
+            pes[pair.receiver].stack = stack;
+            donations[pair.donor] += 1;
+            done += 1;
+        }
+    }
+    done
+}
+
+/// FEGS equalization: repeatedly let every above-average PE ship its excess
+/// to the poorest PEs until counts are within 1 of uniform (or progress
+/// stops). Returns the number of transfer rounds.
+fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
+    let p = pes.len();
+    let total: usize = pes.iter().map(|pe| pe.stack.len()).sum();
+    let target = total.div_ceil(p);
+    let mut rounds = 0u32;
+    // Bound the rounds: each round matches donors to receivers 1-1, so
+    // log-ish rounds suffice; 2·log2(P)+4 is a generous cap.
+    let cap = 2 * (usize::BITS - p.leading_zeros()) + 4;
+    while rounds < cap {
+        // Donors hold > target; receivers hold < target (poorest first ==
+        // index order is fine; rendezvous semantics).
+        let donors: Vec<usize> =
+            (0..p).filter(|&i| pes[i].stack.len() > target && pes[i].stack.can_split()).collect();
+        let receivers: Vec<usize> = (0..p).filter(|&i| pes[i].stack.len() < target).collect();
+        if donors.is_empty() || receivers.is_empty() {
+            break;
+        }
+        let mut moved_any = false;
+        for (&d, &r) in donors.iter().zip(&receivers) {
+            let excess = pes[d].stack.len() - target;
+            let want = target - pes[r].stack.len();
+            if let Some(chunk) = pes[d].stack.split_count(excess.min(want)) {
+                // Merge into the receiver (receiver may be non-empty when
+                // below target): append chunk frames bottom-up.
+                let mut stack = std::mem::take(&mut pes[r].stack);
+                if stack.is_empty() {
+                    stack = chunk;
+                } else {
+                    // Push the chunk's alternatives as a new frame batch.
+                    let nodes: Vec<N> = chunk.iter().cloned().collect();
+                    stack.push_frame(nodes);
+                }
+                pes[r].stack = stack;
+                donations[d] += 1;
+                *transfers += 1;
+                moved_any = true;
+            }
+        }
+        rounds += 1;
+        if !moved_any {
+            break;
+        }
+    }
+    rounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use uts_machine::CostModel;
+    use uts_synth::{BinomialTree, GeometricTree};
+    use uts_tree::serial_dfs;
+
+    fn geo(seed: u64) -> GeometricTree {
+        GeometricTree { seed, b_max: 8, depth_limit: 6 }
+    }
+
+    fn all_schemes() -> Vec<Scheme> {
+        let mut v: Vec<Scheme> = Scheme::table1(0.75).map(|(_, s)| s).to_vec();
+        v.push(Scheme::gp_static(0.5));
+        v.push(Scheme::ngp_static(0.9));
+        v.push(Scheme::fess());
+        v.push(Scheme::fegs());
+        v
+    }
+
+    #[test]
+    fn every_scheme_expands_the_serial_node_count() {
+        let tree = geo(2);
+        let w = serial_dfs(&tree).expanded;
+        for scheme in all_schemes() {
+            for p in [1usize, 4, 32, 128] {
+                let cfg = EngineConfig::new(p, scheme, CostModel::cm2());
+                let out = run(&tree, &cfg);
+                assert!(!out.truncated);
+                assert_eq!(
+                    out.report.nodes_expanded,
+                    w,
+                    "{} P={p} must be anomaly-free",
+                    scheme.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_scheme_finds_the_same_goals() {
+        let tree = BinomialTree::with_q(5, 32, 4, 0.2);
+        let serial = serial_dfs(&tree);
+        for scheme in all_schemes() {
+            let cfg = EngineConfig::new(16, scheme, CostModel::cm2());
+            let out = run(&tree, &cfg);
+            assert_eq!(out.goals, serial.goals, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn single_processor_degenerates_to_serial() {
+        let tree = geo(7);
+        let serial = serial_dfs(&tree);
+        let cfg = EngineConfig::new(1, Scheme::gp_static(0.9), CostModel::cm2());
+        let out = run(&tree, &cfg);
+        assert_eq!(out.report.n_expand, serial.expanded, "one cycle per node");
+        assert_eq!(out.report.n_lb, 0, "nobody to balance with");
+        assert!((out.report.efficiency - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounting_identity_holds_for_all_schemes() {
+        let tree = geo(3);
+        for scheme in all_schemes() {
+            let cfg = EngineConfig::new(32, scheme, CostModel::cm2());
+            let out = run(&tree, &cfg);
+            assert!(out.report.accounting_identity_holds(), "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn gp_does_no_more_balancing_than_ngp_at_high_x() {
+        // The paper's headline effect (Table 2 / Fig. 3): at x > 0.5, GP
+        // needs no more (usually fewer) balancing phases than nGP.
+        let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
+        for x in [0.7, 0.8, 0.9] {
+            let gp = run(&tree, &EngineConfig::new(64, Scheme::gp_static(x), CostModel::cm2()));
+            let ngp =
+                run(&tree, &EngineConfig::new(64, Scheme::ngp_static(x), CostModel::cm2()));
+            assert!(
+                gp.report.n_lb <= ngp.report.n_lb,
+                "x={x}: GP {} vs nGP {}",
+                gp.report.n_lb,
+                ngp.report.n_lb
+            );
+        }
+    }
+
+    #[test]
+    fn higher_x_means_more_balancing_fewer_idle_cycles() {
+        let tree = GeometricTree { seed: 13, b_max: 8, depth_limit: 7 };
+        let lo = run(&tree, &EngineConfig::new(64, Scheme::gp_static(0.5), CostModel::cm2()));
+        let hi = run(&tree, &EngineConfig::new(64, Scheme::gp_static(0.9), CostModel::cm2()));
+        assert!(hi.report.n_lb >= lo.report.n_lb);
+        assert!(hi.report.t_idle <= lo.report.t_idle);
+    }
+
+    #[test]
+    fn trace_length_matches_cycle_count() {
+        let tree = geo(4);
+        let cfg = EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+        let out = run(&tree, &cfg);
+        assert_eq!(out.report.active_trace.len() as u64, out.report.n_expand);
+        // Trace entries never exceed P.
+        assert!(out.report.active_trace.iter().all(|&a| a <= 32));
+    }
+
+    #[test]
+    fn stop_on_goal_terminates_early() {
+        let tree = BinomialTree::with_q(9, 64, 4, 0.22);
+        let serial = serial_dfs(&tree);
+        let mut cfg = EngineConfig::new(16, Scheme::gp_static(0.8), CostModel::cm2());
+        cfg.stop_on_goal = true;
+        let out = run(&tree, &cfg);
+        if serial.goals > 0 {
+            assert!(out.goals >= 1);
+            assert!(out.report.nodes_expanded <= serial.expanded);
+        }
+    }
+
+    #[test]
+    fn max_cycles_truncates() {
+        let tree = geo(5);
+        let mut cfg = EngineConfig::new(8, Scheme::gp_static(0.8), CostModel::cm2());
+        cfg.max_cycles = Some(3);
+        let out = run(&tree, &cfg);
+        assert!(out.truncated);
+        assert_eq!(out.report.n_expand, 3);
+    }
+
+    #[test]
+    fn dynamic_schemes_use_init_phase() {
+        let cfg = EngineConfig::new(128, Scheme::gp_dk(), CostModel::cm2());
+        assert_eq!(cfg.init_fraction, Some(0.85));
+        let cfg = EngineConfig::new(128, Scheme::gp_static(0.8), CostModel::cm2());
+        assert_eq!(cfg.init_fraction, None);
+    }
+
+    #[test]
+    fn more_processors_do_not_increase_efficiency_of_fixed_w() {
+        // The isoefficiency premise: fixed W, growing P ⇒ E falls.
+        let tree = geo(6);
+        let e: Vec<f64> = [4usize, 16, 64, 256]
+            .iter()
+            .map(|&p| {
+                run(&tree, &EngineConfig::new(p, Scheme::gp_static(0.8), CostModel::cm2()))
+                    .report
+                    .efficiency
+            })
+            .collect();
+        assert!(e.windows(2).all(|w| w[1] <= w[0] + 1e-9), "E must fall: {e:?}");
+    }
+
+    #[test]
+    fn gp_spreads_the_donation_burden_more_evenly_than_ngp() {
+        // The motivation for GP (Sec. 2.2): measured as the Gini
+        // coefficient of per-PE donation counts.
+        let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
+        let gp = run(&tree, &EngineConfig::new(128, Scheme::gp_static(0.9), CostModel::cm2()));
+        let ngp = run(&tree, &EngineConfig::new(128, Scheme::ngp_static(0.9), CostModel::cm2()));
+        let g_gp = uts_analysis::gini(&gp.donations);
+        let g_ngp = uts_analysis::gini(&ngp.donations);
+        assert!(
+            g_gp < g_ngp,
+            "GP gini {g_gp:.3} must be below nGP gini {g_ngp:.3}"
+        );
+    }
+
+    #[test]
+    fn peak_stack_is_positive_and_bounded_by_tree_depth_times_branching() {
+        let tree = geo(3);
+        let out = run(&tree, &EngineConfig::new(16, Scheme::gp_static(0.8), CostModel::cm2()));
+        assert!(out.peak_stack_nodes >= 1);
+        // Geometric tree: depth <= 6, branching <= 8 → a DFS stack holds
+        // at most depth * (b_max - 1) + 1 alternatives plus split slack.
+        assert!(out.peak_stack_nodes <= 6 * 8 + 8, "peak {}", out.peak_stack_nodes);
+    }
+
+    #[test]
+    fn donations_sum_to_transfer_count() {
+        let tree = geo(3);
+        for scheme in all_schemes() {
+            let out = run(&tree, &EngineConfig::new(64, scheme, CostModel::cm2()));
+            let total: u64 = out.donations.iter().map(|&d| d as u64).sum();
+            assert_eq!(total, out.report.n_transfers, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn efficiency_vs_serial_matches_internal_when_anomaly_free() {
+        let tree = geo(8);
+        let w = serial_dfs(&tree).expanded;
+        let cfg = EngineConfig::new(32, Scheme::gp_static(0.8), CostModel::cm2());
+        let out = run(&tree, &cfg);
+        let e = out.efficiency_vs_serial(w, &cfg.cost);
+        assert!((e - out.report.efficiency).abs() < 1e-12);
+    }
+}

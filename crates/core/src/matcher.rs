@@ -1,0 +1,153 @@
+//! The matching step of a balancing phase: rendezvous allocation with or
+//! without the paper's global pointer (Sec. 2.2 and Fig. 2).
+
+use serde::{Deserialize, Serialize};
+use uts_scan::{rendezvous_match, rendezvous_match_from, Pair};
+
+use crate::scheme::Matching;
+
+/// Matching state carried across balancing phases. Only GP has state: the
+/// *global pointer* remembering the last donor of the previous phase.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchState {
+    matching: Matching,
+    /// Index of the last processor that donated work, if any (GP only).
+    global_pointer: Option<usize>,
+}
+
+impl MatchState {
+    /// Fresh state for the given matching scheme.
+    pub fn new(matching: Matching) -> Self {
+        Self { matching, global_pointer: None }
+    }
+
+    /// The matching scheme.
+    pub fn matching(&self) -> Matching {
+        self.matching
+    }
+
+    /// Current global pointer (None before the first GP donation).
+    pub fn global_pointer(&self) -> Option<usize> {
+        self.global_pointer
+    }
+
+    /// Pair busy donors with idle receivers for one transfer round, and —
+    /// for GP — advance the global pointer to the round's last donor.
+    ///
+    /// `busy[i]` must mean "processor i can split its work" and `idle[i]`
+    /// "processor i has none"; a processor holding a single node is
+    /// neither. Returns `min(A, I)` pairs.
+    pub fn match_round(&mut self, busy: &[bool], idle: &[bool]) -> Vec<Pair> {
+        let pairs = match self.matching {
+            Matching::Ngp => rendezvous_match(busy, idle),
+            Matching::Gp => {
+                let start = self.global_pointer.map_or(0, |gp| (gp + 1) % busy.len().max(1));
+                rendezvous_match_from(busy, idle, start)
+            }
+        };
+        if self.matching == Matching::Gp {
+            if let Some(last) = pairs.last() {
+                self.global_pointer = Some(last.donor);
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const B: bool = true;
+    const I: bool = false;
+
+    fn idle_of(busy: &[bool]) -> Vec<bool> {
+        busy.iter().map(|&b| !b).collect()
+    }
+
+    /// The full Fig. 2 walk-through: same busy pattern in two consecutive
+    /// phases; nGP repeats its matching, GP rotates it.
+    #[test]
+    fn figure2_two_rounds() {
+        // PEs (0-based): 0..7; busy everywhere except 5 and 6.
+        let busy = [B, B, B, B, B, I, I, B];
+        let idle = idle_of(&busy);
+
+        // nGP: always matches idle 5,6 to busy 0,1.
+        let mut ngp = MatchState::new(Matching::Ngp);
+        for _ in 0..2 {
+            let pairs = ngp.match_round(&busy, &idle);
+            let donors: Vec<usize> = pairs.iter().map(|p| p.donor).collect();
+            assert_eq!(donors, vec![0, 1]);
+        }
+
+        // GP with pointer initially at PE 4 (paper's PE 5): donors 7, 0.
+        let mut gp = MatchState::new(Matching::Gp);
+        gp.global_pointer = Some(4);
+        let pairs = gp.match_round(&busy, &idle);
+        let donors: Vec<usize> = pairs.iter().map(|p| p.donor).collect();
+        assert_eq!(donors, vec![7, 0]);
+        assert_eq!(gp.global_pointer(), Some(0), "pointer advanced to last donor");
+
+        // Second phase with the same pattern: donors 1, 2 (paper's 2, 3).
+        let pairs = gp.match_round(&busy, &idle);
+        let donors: Vec<usize> = pairs.iter().map(|p| p.donor).collect();
+        assert_eq!(donors, vec![1, 2]);
+        assert_eq!(gp.global_pointer(), Some(2));
+    }
+
+    #[test]
+    fn gp_first_round_matches_ngp() {
+        let busy = [B, I, B, I];
+        let idle = idle_of(&busy);
+        let mut gp = MatchState::new(Matching::Gp);
+        let mut ngp = MatchState::new(Matching::Ngp);
+        assert_eq!(gp.match_round(&busy, &idle), ngp.match_round(&busy, &idle));
+    }
+
+    #[test]
+    fn gp_pointer_unchanged_when_no_pairs() {
+        let busy = [B, B, B, B];
+        let idle = idle_of(&busy); // nobody idle
+        let mut gp = MatchState::new(Matching::Gp);
+        gp.global_pointer = Some(2);
+        assert!(gp.match_round(&busy, &idle).is_empty());
+        assert_eq!(gp.global_pointer(), Some(2));
+    }
+
+    #[test]
+    fn gp_spreads_donations_evenly_over_many_rounds() {
+        // 8 PEs, PEs 6,7 always idle: over 12 rounds each of the 6 busy
+        // PEs should donate 4 times under GP (24 donations / 6 donors).
+        let busy = [B, B, B, B, B, B, I, I];
+        let idle = idle_of(&busy);
+        let mut gp = MatchState::new(Matching::Gp);
+        let mut counts = [0u32; 8];
+        for _ in 0..12 {
+            for p in gp.match_round(&busy, &idle) {
+                counts[p.donor] += 1;
+            }
+        }
+        assert_eq!(&counts[..6], &[4, 4, 4, 4, 4, 4]);
+
+        // nGP concentrates the burden on PEs 0 and 1.
+        let mut ngp = MatchState::new(Matching::Ngp);
+        let mut counts = [0u32; 8];
+        for _ in 0..12 {
+            for p in ngp.match_round(&busy, &idle) {
+                counts[p.donor] += 1;
+            }
+        }
+        assert_eq!(&counts[..6], &[12, 12, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn more_idle_than_busy_leaves_surplus_unmatched() {
+        let busy = [B, I, I, I];
+        let idle = idle_of(&busy);
+        let mut gp = MatchState::new(Matching::Gp);
+        let pairs = gp.match_round(&busy, &idle);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].donor, 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! Trigger evaluation: when does the machine leave the search phase?
+//!
+//! All three triggers are pure functions of the machine's phase-local
+//! counters and the current busy count; they are evaluated after every
+//! expansion cycle (and, per Sec. 2.1, at least one cycle always runs
+//! between balancing phases — the engine guarantees that by construction).
+
+use uts_machine::{PhaseStats, SimTime};
+
+use crate::scheme::Trigger;
+
+/// Everything a trigger may look at after an expansion cycle.
+#[derive(Debug, Clone, Copy)]
+pub struct TriggerCtx {
+    /// Ensemble size `P`.
+    pub p: usize,
+    /// Busy (splittable) processors `A` after the cycle.
+    pub busy: usize,
+    /// Processors with empty stacks `I` after the cycle.
+    pub idle: usize,
+    /// Phase-local counters (work/idle/cycles since the last balance).
+    pub phase: PhaseStats,
+    /// `U_calc` in virtual time units.
+    pub u_calc: SimTime,
+    /// Estimated cost `L` of the next balancing phase (= cost of the
+    /// previous one, per the paper).
+    pub l_estimate: SimTime,
+}
+
+/// Evaluate `trigger` against the current context.
+pub fn should_balance(trigger: Trigger, ctx: &TriggerCtx) -> bool {
+    match trigger {
+        // Eq. (1): A <= x·P.
+        Trigger::Static { x } => (ctx.busy as f64) <= x * ctx.p as f64,
+        // Eq. (2): w / (t + L) >= A, rewritten w >= A·(t + L) to stay in
+        // integers. `w` and `t` are in virtual-time units.
+        Trigger::Dp => {
+            let w = ctx.phase.busy_pe_cycles as u128 * ctx.u_calc as u128;
+            let t = ctx.phase.cycles as u128 * ctx.u_calc as u128;
+            let rhs = ctx.busy as u128 * (t + ctx.l_estimate as u128);
+            w >= rhs
+        }
+        // Eq. (4): w_idle >= L·P.
+        Trigger::Dk => {
+            let w_idle = ctx.phase.idle_pe_cycles as u128 * ctx.u_calc as u128;
+            w_idle >= ctx.l_estimate as u128 * ctx.p as u128
+        }
+        // FESS/FEGS: any processor idle.
+        Trigger::AnyIdle => ctx.idle > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(p: usize, busy: usize, idle: usize, phase: PhaseStats, l: SimTime) -> TriggerCtx {
+        TriggerCtx { p, busy, idle, phase, u_calc: 30, l_estimate: l }
+    }
+
+    #[test]
+    fn static_trigger_fires_at_threshold() {
+        let phase = PhaseStats::default();
+        // x = 0.5, P = 8: fires at A <= 4.
+        assert!(should_balance(Trigger::Static { x: 0.5 }, &ctx(8, 4, 4, phase, 13)));
+        assert!(!should_balance(Trigger::Static { x: 0.5 }, &ctx(8, 5, 3, phase, 13)));
+        // Degenerate thresholds.
+        assert!(should_balance(Trigger::Static { x: 1.0 }, &ctx(8, 8, 0, phase, 13)));
+        assert!(!should_balance(Trigger::Static { x: 0.0 }, &ctx(8, 1, 7, phase, 13)));
+        assert!(should_balance(Trigger::Static { x: 0.0 }, &ctx(8, 0, 8, phase, 13)));
+    }
+
+    #[test]
+    fn dp_fires_when_area_r1_reaches_r2() {
+        // P=4, A=4 throughout, 10 cycles: w = 40·u, t = 10·u, so w = A·t
+        // exactly; with L = 0 the condition w >= A(t+L) holds.
+        let phase = PhaseStats { cycles: 10, busy_pe_cycles: 40, idle_pe_cycles: 0 };
+        assert!(should_balance(Trigger::Dp, &ctx(4, 4, 0, phase, 0)));
+        // With a positive L it must wait (w < A(t+L)).
+        assert!(!should_balance(Trigger::Dp, &ctx(4, 4, 0, phase, 13)));
+    }
+
+    #[test]
+    fn dp_pathology_single_active_processor_never_fires() {
+        // Paper Sec. 6.1 observation 1: with A=1 from the start, w = t, so
+        // w >= 1·(t+L) never holds while L > 0.
+        for cycles in [1u64, 10, 1000, 100_000] {
+            let phase =
+                PhaseStats { cycles, busy_pe_cycles: cycles, idle_pe_cycles: cycles * 3 };
+            assert!(!should_balance(Trigger::Dp, &ctx(4, 1, 3, phase, 13)));
+        }
+    }
+
+    #[test]
+    fn dp_high_lb_cost_delays_triggering() {
+        // Same trajectory; raising L flips the decision (Sec. 6.1 obs. 3).
+        let phase = PhaseStats { cycles: 4, busy_pe_cycles: 14, idle_pe_cycles: 2 };
+        // w = 14u = 420; A = 3; t = 4u = 120. A·(t+L) = 3·(120+L).
+        assert!(should_balance(Trigger::Dp, &ctx(4, 3, 1, phase, 20)));
+        assert!(!should_balance(Trigger::Dp, &ctx(4, 3, 1, phase, 2000)));
+    }
+
+    #[test]
+    fn dk_fires_when_idle_time_covers_next_phase() {
+        // P=8, L=13u... — work in raw units: u_calc=30, L=130.
+        // w_idle = idle_pe_cycles·30 >= 130·8 = 1040 → idle_pe_cycles >= 35.
+        let low = PhaseStats { cycles: 10, busy_pe_cycles: 46, idle_pe_cycles: 34 };
+        let high = PhaseStats { cycles: 10, busy_pe_cycles: 45, idle_pe_cycles: 35 };
+        assert!(!should_balance(Trigger::Dk, &ctx(8, 4, 4, low, 130)));
+        assert!(should_balance(Trigger::Dk, &ctx(8, 4, 4, high, 130)));
+    }
+
+    #[test]
+    fn dk_ignores_busy_count() {
+        // Unlike DP, DK keeps accumulating idle time even when A = 1 and
+        // eventually fires (the paper's robustness argument).
+        let phase = PhaseStats { cycles: 50, busy_pe_cycles: 50, idle_pe_cycles: 150 };
+        assert!(should_balance(Trigger::Dk, &ctx(4, 1, 3, phase, 1000)));
+    }
+
+    #[test]
+    fn any_idle_fires_on_first_idle() {
+        let phase = PhaseStats::default();
+        assert!(!should_balance(Trigger::AnyIdle, &ctx(4, 4, 0, phase, 13)));
+        assert!(should_balance(Trigger::AnyIdle, &ctx(4, 3, 1, phase, 13)));
+    }
+}

@@ -1,0 +1,183 @@
+//! Cost models: how long an expansion cycle and a balancing phase take.
+//!
+//! The paper's Sec. 3.3 derives the balancing-phase cost per architecture:
+//!
+//! * **CM-2** — setup (sum-scans) and transfer are both hardware-assisted
+//!   large constants independent of `P`; `t_lb = O(1)`;
+//! * **hypercube** — setup `O(log P)` (sum-scan), transfer `O(log^2 P)`
+//!   (general permutation), so `t_lb = O(log^2 P)`;
+//! * **mesh** — both `O(sqrt P)`, so `t_lb = O(sqrt P)`.
+//!
+//! Their measured CM-2 constants (Sec. 5) are `U_calc ≈ 30 ms` per expansion
+//! cycle and `t_lb ≈ 13 ms` per balancing phase; Table 5 rescales `t_lb` by
+//! 12× and 16× — here the [`CostModel::lb_multiplier`] knob.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{SimTime, MICROS_PER_SEC};
+
+/// Interconnect topology, which fixes the asymptotic shape of `t_lb(P)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// CM-2-like: hardware scans and router make the phase cost a constant.
+    Cm2,
+    /// Hypercube: `t_lb = setup * log2(P) + transfer * log2(P)^2`.
+    Hypercube,
+    /// 2-D mesh: `t_lb = (setup + transfer) * sqrt(P)`.
+    Mesh,
+}
+
+/// Machine timing parameters. All times in virtual microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Interconnect topology.
+    pub topology: Topology,
+    /// `U_calc`: one lockstep node-expansion cycle.
+    pub u_calc: SimTime,
+    /// `U_comm`: sending one node to a *neighbor* processor (used by the
+    /// nearest-neighbor scheme of Sec. 8, not by scan-based matching).
+    pub u_comm: SimTime,
+    /// Setup cost unit of a balancing phase (matching via sum-scans).
+    pub lb_setup: SimTime,
+    /// Transfer cost unit of a balancing phase (moving the split stacks).
+    pub lb_transfer: SimTime,
+    /// Multiplier applied to the whole phase cost (Table 5 uses 12 and 16,
+    /// simulated in the paper by "sending larger than necessary messages").
+    pub lb_multiplier: u32,
+}
+
+impl CostModel {
+    /// The paper's measured CM-2 constants: 30 ms expansion cycles, 13 ms
+    /// balancing phases (setup 3 ms + transfer 10 ms; the paper notes scans
+    /// are "a lot smaller" than general communication).
+    pub fn cm2() -> Self {
+        Self {
+            topology: Topology::Cm2,
+            u_calc: 30 * MICROS_PER_SEC / 1000,
+            u_comm: MICROS_PER_SEC / 1000,
+            lb_setup: 3 * MICROS_PER_SEC / 1000,
+            lb_transfer: 10 * MICROS_PER_SEC / 1000,
+            lb_multiplier: 1,
+        }
+    }
+
+    /// A hypercube (CM-5/nCUBE-like) model with per-hop costs; `t_lb` grows
+    /// as `log^2 P`.
+    pub fn hypercube() -> Self {
+        Self {
+            topology: Topology::Hypercube,
+            u_calc: 30 * MICROS_PER_SEC / 1000,
+            u_comm: MICROS_PER_SEC / 1000,
+            lb_setup: MICROS_PER_SEC / 1000,
+            lb_transfer: MICROS_PER_SEC / 1000,
+            lb_multiplier: 1,
+        }
+    }
+
+    /// A 2-D mesh model; `t_lb` grows as `sqrt P`.
+    pub fn mesh() -> Self {
+        Self {
+            topology: Topology::Mesh,
+            u_calc: 30 * MICROS_PER_SEC / 1000,
+            u_comm: MICROS_PER_SEC / 1000,
+            lb_setup: MICROS_PER_SEC / 1000,
+            lb_transfer: MICROS_PER_SEC / 1000,
+            lb_multiplier: 1,
+        }
+    }
+
+    /// Return a copy with the balancing cost scaled by `k` (Table 5).
+    pub fn with_lb_multiplier(mut self, k: u32) -> Self {
+        self.lb_multiplier = k;
+        self
+    }
+
+    /// Return a copy with a different expansion-cycle cost.
+    pub fn with_u_calc(mut self, u_calc: SimTime) -> Self {
+        self.u_calc = u_calc;
+        self
+    }
+
+    /// Cost of one balancing phase on `p` processors containing `rounds`
+    /// match+transfer rounds (each round is one setup scan set plus one
+    /// routed transfer; single-transfer schemes have `rounds == 1`).
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0` — a phase with no rounds is an engine bug.
+    pub fn lb_phase_cost(&self, p: usize, rounds: u32) -> SimTime {
+        assert!(rounds > 0, "a balancing phase must contain at least one round");
+        let per_round = match self.topology {
+            Topology::Cm2 => self.lb_setup + self.lb_transfer,
+            Topology::Hypercube => {
+                let d = (p.max(2) as f64).log2().ceil() as u64;
+                self.lb_setup * d + self.lb_transfer * d * d
+            }
+            Topology::Mesh => {
+                let s = (p as f64).sqrt().ceil() as u64;
+                (self.lb_setup + self.lb_transfer) * s
+            }
+        };
+        per_round * rounds as u64 * self.lb_multiplier as u64
+    }
+
+    /// The ratio `t_lb / U_calc` that eq. 18 (the optimal static trigger)
+    /// depends on, for a single-round phase on `p` processors.
+    pub fn lb_ratio(&self, p: usize) -> f64 {
+        self.lb_phase_cost(p, 1) as f64 / self.u_calc as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cm2_cost_is_constant_in_p() {
+        let c = CostModel::cm2();
+        assert_eq!(c.lb_phase_cost(64, 1), c.lb_phase_cost(65536, 1));
+        assert_eq!(c.lb_phase_cost(8192, 1), 13_000);
+        assert_eq!(c.u_calc, 30_000);
+    }
+
+    #[test]
+    fn cm2_matches_paper_ratio() {
+        // 13 ms / 30 ms ≈ 0.433 — the ratio behind Table 2's x_o column.
+        let r = CostModel::cm2().lb_ratio(8192);
+        assert!((r - 13.0 / 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hypercube_cost_grows_log_squared() {
+        let c = CostModel::hypercube();
+        let c64 = c.lb_phase_cost(64, 1); // d = 6
+        let c4096 = c.lb_phase_cost(4096, 1); // d = 12
+        // setup*d + transfer*d^2 with unit costs: 6+36=42 vs 12+144=156.
+        assert_eq!(c64, 42_000 / 1000 * 1000);
+        assert_eq!(c4096, 156_000 / 1000 * 1000);
+    }
+
+    #[test]
+    fn mesh_cost_grows_sqrt() {
+        let c = CostModel::mesh();
+        assert_eq!(c.lb_phase_cost(100, 1) * 2, c.lb_phase_cost(400, 1));
+    }
+
+    #[test]
+    fn multiplier_scales_linearly() {
+        let c = CostModel::cm2();
+        let c16 = c.with_lb_multiplier(16);
+        assert_eq!(c16.lb_phase_cost(8192, 1), 16 * c.lb_phase_cost(8192, 1));
+    }
+
+    #[test]
+    fn rounds_scale_linearly() {
+        let c = CostModel::cm2();
+        assert_eq!(c.lb_phase_cost(8192, 3), 3 * c.lb_phase_cost(8192, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        CostModel::cm2().lb_phase_cost(8, 0);
+    }
+}

@@ -1,0 +1,89 @@
+//! Run-long and phase-local counters.
+
+use serde::{Deserialize, Serialize};
+
+use crate::SimTime;
+
+/// One load-balancing phase, as recorded in the phase log (when tracing
+/// is enabled): when it happened, what it moved, what it cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseEvent {
+    /// Expansion-cycle index after which the phase ran.
+    pub at_cycle: u64,
+    /// Match+transfer rounds in the phase.
+    pub rounds: u32,
+    /// Work transfers performed.
+    pub transfers: u64,
+    /// Machine-time cost of the phase.
+    pub cost: SimTime,
+}
+
+/// Counters accumulated over the whole run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Node-expansion cycles executed (`N_expand`).
+    pub n_expand: u64,
+    /// Load-balancing phases executed (`N_lb`).
+    pub n_lb: u64,
+    /// Individual work transfers performed (`*N_lb` of Table 4; ≥ `n_lb`
+    /// when a phase feeds several idle PEs, which is the normal case).
+    pub n_transfers: u64,
+    /// Total nodes expanded by the parallel search.
+    pub nodes_expanded: u64,
+    /// Σ over cycles of the busy-PE count.
+    pub busy_pe_cycles: u64,
+    /// Σ over cycles of the idle-PE count (becomes `T_idle` × `1/U_calc`).
+    pub idle_pe_cycles: u64,
+    /// Machine-time (not PE-time) spent in balancing phases.
+    pub t_lb_machine: SimTime,
+    /// Whether to record `active_trace` and `phase_log`.
+    pub trace_enabled: bool,
+    /// Busy-PE count per expansion cycle (Fig. 8), if enabled.
+    pub active_trace: Vec<u32>,
+    /// One entry per balancing phase, if enabled.
+    pub phase_log: Vec<PhaseEvent>,
+}
+
+/// Counters since the start of the current search phase, from which the
+/// dynamic triggers are computed:
+///
+/// * DP (eq. 2): `w = busy_pe_cycles * U_calc`, `t = cycles * U_calc`;
+/// * DK (eq. 4): `w_idle = idle_pe_cycles * U_calc`.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct PhaseStats {
+    /// Expansion cycles since the last balancing phase.
+    pub cycles: u64,
+    /// Σ busy-PE counts over those cycles.
+    pub busy_pe_cycles: u64,
+    /// Σ idle-PE counts over those cycles.
+    pub idle_pe_cycles: u64,
+}
+
+impl PhaseStats {
+    /// The paper's `w`: work done this search phase, in PE-time units
+    /// (multiply by `U_calc`).
+    pub fn work_pe_cycles(&self) -> u64 {
+        self.busy_pe_cycles
+    }
+
+    /// The paper's `w_idle` in PE-cycles (multiply by `U_calc` for PE-time).
+    pub fn idle_pe_cycles(&self) -> u64 {
+        self.idle_pe_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.n_expand, 0);
+        assert_eq!(m.n_lb, 0);
+        assert!(m.active_trace.is_empty());
+        let p = PhaseStats::default();
+        assert_eq!(p.work_pe_cycles(), 0);
+        assert_eq!(p.idle_pe_cycles(), 0);
+    }
+}

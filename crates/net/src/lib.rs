@@ -1,0 +1,140 @@
+//! Interconnect routing simulation.
+//!
+//! The paper's Sec. 3.3 asserts per-architecture costs for a balancing
+//! phase — sum-scan setup `O(log P)` (hypercube) or `O(sqrt P)` (mesh),
+//! and work-transfer `O(log^2 P)` (hypercube general permutation) or
+//! `O(sqrt P)` (mesh) — and then *assumes* them in `uts-machine`'s cost
+//! models. This crate closes the loop: it simulates the routes the
+//! transfer step actually takes (dimension-ordered e-cube routing on the
+//! hypercube, XY routing on the mesh) under synchronous store-and-forward
+//! link contention, so the asserted growth rates can be *measured* on the
+//! rendezvous traffic the matching schemes emit.
+//!
+//! The contention model: one message per directed link per step; blocked
+//! messages wait (deterministic lowest-index priority). [`route`] returns
+//! the delivery time and congestion statistics of a message set.
+
+pub mod hypercube;
+pub mod mesh;
+
+use serde::{Deserialize, Serialize};
+
+/// A point-to-point message (one per rendezvous pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Message {
+    /// Source processor.
+    pub src: usize,
+    /// Destination processor.
+    pub dst: usize,
+}
+
+/// Outcome of routing a message set to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouteStats {
+    /// Synchronous steps until every message arrived.
+    pub steps: u32,
+    /// Longest individual path (hops) — the no-contention lower bound.
+    pub max_hops: u32,
+    /// Total number of blocked-message wait events (congestion measure).
+    pub waits: u64,
+}
+
+/// A routing function: given the network size and a message's current
+/// position/destination, the next node on its path (must be a neighbor).
+pub trait Router {
+    /// Number of processors.
+    fn size(&self) -> usize;
+    /// Next hop for a message at `pos` heading to `dst`; `None` iff
+    /// `pos == dst`.
+    fn next_hop(&self, pos: usize, dst: usize) -> Option<usize>;
+    /// Diameter-style bound used by tests (hops of the longest route).
+    fn hops(&self, src: usize, dst: usize) -> u32;
+}
+
+/// Synchronously route `messages` to completion under link contention.
+///
+/// # Panics
+/// Panics if any endpoint is out of range.
+pub fn route<R: Router>(router: &R, messages: &[Message]) -> RouteStats {
+    let n = router.size();
+    for m in messages {
+        assert!(m.src < n && m.dst < n, "message endpoint out of range");
+    }
+    let mut pos: Vec<usize> = messages.iter().map(|m| m.src).collect();
+    let mut max_hops = 0;
+    for m in messages {
+        max_hops = max_hops.max(router.hops(m.src, m.dst));
+    }
+    let mut steps = 0u32;
+    let mut waits = 0u64;
+    let mut in_flight: Vec<usize> =
+        (0..messages.len()).filter(|&i| pos[i] != messages[i].dst).collect();
+    // One message per directed link per step: claimed links this step.
+    let mut claimed: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    while !in_flight.is_empty() {
+        steps += 1;
+        claimed.clear();
+        let mut still = Vec::with_capacity(in_flight.len());
+        for &i in &in_flight {
+            let dst = messages[i].dst;
+            let next = router
+                .next_hop(pos[i], dst)
+                .expect("in-flight message must have a next hop");
+            if claimed.insert((pos[i], next)) {
+                pos[i] = next;
+            } else {
+                waits += 1;
+            }
+            if pos[i] != dst {
+                still.push(i);
+            }
+        }
+        in_flight = still;
+        debug_assert!(steps <= (n as u32 + 2) * (messages.len() as u32 + 2), "routing livelock");
+    }
+    RouteStats { steps, max_hops, waits }
+}
+
+/// Depth of the binary reduction/scan tree on `p` processors — the
+/// `O(log P)` setup cost the paper charges for the sum-scans.
+pub fn scan_depth(p: usize) -> u32 {
+    assert!(p > 0);
+    (usize::BITS - (p - 1).leading_zeros()).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypercube::Hypercube;
+
+    #[test]
+    fn empty_message_set_routes_instantly() {
+        let h = Hypercube::new(16);
+        let stats = route(&h, &[]);
+        assert_eq!(stats.steps, 0);
+        assert_eq!(stats.waits, 0);
+    }
+
+    #[test]
+    fn self_messages_cost_nothing() {
+        let h = Hypercube::new(8);
+        let stats = route(&h, &[Message { src: 3, dst: 3 }]);
+        assert_eq!(stats.steps, 0);
+    }
+
+    #[test]
+    fn scan_depth_matches_log2() {
+        assert_eq!(scan_depth(1), 1);
+        assert_eq!(scan_depth(2), 1);
+        assert_eq!(scan_depth(3), 2);
+        assert_eq!(scan_depth(1024), 10);
+        assert_eq!(scan_depth(1025), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_endpoint_rejected() {
+        let h = Hypercube::new(8);
+        let _ = route(&h, &[Message { src: 0, dst: 9 }]);
+    }
+}

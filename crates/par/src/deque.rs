@@ -1,0 +1,228 @@
+//! An explicit work-stealing pool: crossbeam deques, scoped threads, and a
+//! global outstanding-node counter for termination.
+//!
+//! Each worker owns a LIFO [`Worker`] deque (depth-first locally, which
+//! keeps memory bounded like a DFS stack); when empty it steals from the
+//! global injector or a sibling (FIFO steals take victims' *shallowest*
+//! frontier nodes — the biggest subtrees, i.e. the same intuition as the
+//! paper's donate-the-stack-bottom alpha-splitting). Termination: an
+//! atomic count of nodes that have been pushed but not yet expanded; when
+//! it reaches zero no work exists or can appear, and all workers exit.
+//!
+//! [`Worker`]: crossbeam::deque::Worker
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use uts_tree::TreeProblem;
+
+/// Counters from a pool run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DequeStats {
+    /// Nodes expanded (equals serial `W`).
+    pub expanded: u64,
+    /// Goal nodes found.
+    pub goals: u64,
+    /// Successful steals across all workers.
+    pub steals: u64,
+    /// Per-worker expansion counts (load distribution diagnostics).
+    pub per_worker: Vec<u64>,
+}
+
+/// Exhaustively search `problem` on `threads` workers.
+///
+/// # Panics
+/// Panics if `threads == 0`.
+pub fn deque_dfs<P: TreeProblem>(problem: &P, threads: usize) -> DequeStats {
+    assert!(threads > 0, "need at least one worker");
+    let injector: Injector<P::Node> = Injector::new();
+    // `outstanding` counts nodes pushed to any queue but not yet expanded.
+    let outstanding = AtomicU64::new(1);
+    injector.push(problem.root());
+
+    let workers: Vec<Worker<P::Node>> = (0..threads).map(|_| Worker::new_lifo()).collect();
+    let stealers: Vec<Stealer<P::Node>> = workers.iter().map(Worker::stealer).collect();
+
+    let results: Vec<(u64, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(me, local)| {
+                let injector = &injector;
+                let outstanding = &outstanding;
+                let stealers = &stealers;
+                scope.spawn(move || {
+                    worker_loop(problem, local, me, injector, stealers, outstanding)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
+    });
+
+    let mut stats = DequeStats::default();
+    for &(expanded, goals, steals) in &results {
+        stats.expanded += expanded;
+        stats.goals += goals;
+        stats.steals += steals;
+        stats.per_worker.push(expanded);
+    }
+    stats
+}
+
+fn worker_loop<P: TreeProblem>(
+    problem: &P,
+    local: Worker<P::Node>,
+    me: usize,
+    injector: &Injector<P::Node>,
+    stealers: &[Stealer<P::Node>],
+    outstanding: &AtomicU64,
+) -> (u64, u64, u64) {
+    let mut expanded = 0u64;
+    let mut goals = 0u64;
+    let mut steals = 0u64;
+    let mut children: Vec<P::Node> = Vec::new();
+    let mut backoff = 0u32;
+    loop {
+        // Local pop first (LIFO = depth-first, bounded memory)...
+        let node = local.pop().or_else(|| {
+            // ...then the injector, then siblings. Any success is a steal.
+            let stolen = steal_somewhere(injector, stealers, me);
+            if stolen.is_some() {
+                steals += 1;
+            }
+            stolen
+        });
+        match node {
+            Some(node) => {
+                backoff = 0;
+                expanded += 1;
+                if problem.is_goal(&node) {
+                    goals += 1;
+                }
+                children.clear();
+                problem.expand(&node, &mut children);
+                if !children.is_empty() {
+                    outstanding.fetch_add(children.len() as u64, Ordering::Relaxed);
+                    for c in children.drain(..) {
+                        local.push(c);
+                    }
+                }
+                // This node is done only after its children are visible,
+                // so `outstanding` can never dip to 0 while work remains.
+                outstanding.fetch_sub(1, Ordering::Release);
+            }
+            None => {
+                if outstanding.load(Ordering::Acquire) == 0 {
+                    return (expanded, goals, steals);
+                }
+                // Nothing stealable right now but nodes are in flight:
+                // back off briefly and retry.
+                backoff = (backoff + 1).min(10);
+                if backoff > 4 {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
+fn steal_somewhere<N>(
+    injector: &Injector<N>,
+    stealers: &[Stealer<N>],
+    me: usize,
+) -> Option<N> {
+    loop {
+        match injector.steal() {
+            Steal::Success(n) => return Some(n),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    // Rotate over victims starting after ourselves (the paper's global
+    // pointer, reborn as steal order).
+    let n = stealers.len();
+    for k in 1..=n {
+        let victim = (me + k) % n;
+        if victim == me {
+            continue;
+        }
+        loop {
+            match stealers[victim].steal() {
+                Steal::Success(node) => return Some(node),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uts_problems::{random_3sat, Dpll, NQueens};
+    use uts_synth::{BinomialTree, GeometricTree};
+    use uts_tree::serial_dfs;
+
+    #[test]
+    fn matches_serial_across_thread_counts() {
+        let tree = GeometricTree { seed: 3, b_max: 8, depth_limit: 6 };
+        let serial = serial_dfs(&tree);
+        for threads in [1usize, 2, 4, 8] {
+            let par = deque_dfs(&tree, threads);
+            assert_eq!(par.expanded, serial.expanded, "threads {threads}");
+            assert_eq!(par.goals, serial.goals, "threads {threads}");
+            assert_eq!(par.per_worker.len(), threads);
+            assert_eq!(par.per_worker.iter().sum::<u64>(), par.expanded);
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_nqueens_and_sat() {
+        let q = NQueens::new(8);
+        let serial = serial_dfs(&q);
+        let par = deque_dfs(&q, 4);
+        assert_eq!(par.expanded, serial.expanded);
+        assert_eq!(par.goals, 92);
+
+        let dpll = Dpll::new(random_3sat(4, 12, 44));
+        let serial = serial_dfs(&dpll);
+        let par = deque_dfs(&dpll, 3);
+        assert_eq!(par.expanded, serial.expanded);
+        assert_eq!(par.goals, serial.goals);
+    }
+
+    #[test]
+    fn single_thread_never_steals_after_start() {
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 5 };
+        let par = deque_dfs(&tree, 1);
+        // Only the initial injector grab counts as a steal.
+        assert_eq!(par.steals, 1);
+    }
+
+    #[test]
+    fn heavy_tailed_trees_still_terminate_and_agree() {
+        for seed in 0..8 {
+            let tree = BinomialTree::with_q(seed, 24, 4, 0.2);
+            let serial = serial_dfs(&tree);
+            let par = deque_dfs(&tree, 4);
+            assert_eq!(par.expanded, serial.expanded, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn trivial_tree_on_many_threads() {
+        let tree = GeometricTree { seed: 0, b_max: 8, depth_limit: 6 }; // W = 1
+        let par = deque_dfs(&tree, 8);
+        assert_eq!(par.expanded, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_rejected() {
+        let tree = GeometricTree { seed: 1, b_max: 8, depth_limit: 4 };
+        let _ = deque_dfs(&tree, 0);
+    }
+}

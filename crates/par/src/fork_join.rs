@@ -1,0 +1,110 @@
+//! Fork-join parallel DFS: rayon tasks down to a depth cutoff, serial
+//! stacks below it.
+
+use rayon::prelude::*;
+use uts_tree::{SearchStack, TreeProblem};
+
+/// Counters from a parallel traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ParStats {
+    /// Nodes expanded (equals serial `W`).
+    pub expanded: u64,
+    /// Goal nodes found.
+    pub goals: u64,
+}
+
+impl ParStats {
+    fn merge(self, other: ParStats) -> ParStats {
+        ParStats { expanded: self.expanded + other.expanded, goals: self.goals + other.goals }
+    }
+}
+
+/// Exhaustively search `problem`, forking rayon tasks for sibling subtrees
+/// above `par_depth` and running each deeper subtree serially.
+///
+/// `par_depth` trades scheduling overhead against balance: 0 is fully
+/// serial; values around `log2(threads) + 3` are usually enough, since
+/// rayon's own work stealing rebalances the generated tasks.
+pub fn rayon_dfs<P: TreeProblem>(problem: &P, par_depth: usize) -> ParStats {
+    descend(problem, problem.root(), 0, par_depth)
+}
+
+fn descend<P: TreeProblem>(
+    problem: &P,
+    node: P::Node,
+    depth: usize,
+    par_depth: usize,
+) -> ParStats {
+    let mut here = ParStats { expanded: 1, goals: problem.is_goal(&node) as u64 };
+    let mut children = Vec::new();
+    problem.expand(&node, &mut children);
+    if children.is_empty() {
+        return here;
+    }
+    if depth >= par_depth || children.len() == 1 {
+        // Serial subtree: reuse the engine's stack machinery.
+        let mut stack = SearchStack::new();
+        stack.push_frame(children);
+        let mut buf = Vec::new();
+        while let Some(n) = stack.pop_next() {
+            here.expanded += 1;
+            here.goals += problem.is_goal(&n) as u64;
+            buf.clear();
+            problem.expand(&n, &mut buf);
+            stack.push_frame(std::mem::take(&mut buf));
+        }
+        here
+    } else {
+        let below = children
+            .into_par_iter()
+            .map(|c| descend(problem, c, depth + 1, par_depth))
+            .reduce(ParStats::default, ParStats::merge);
+        here.merge(below)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uts_problems::NQueens;
+    use uts_synth::GeometricTree;
+    use uts_tree::serial_dfs;
+
+    #[test]
+    fn matches_serial_on_synthetic_trees() {
+        for seed in [1u64, 2, 3, 6, 9] {
+            let tree = GeometricTree { seed, b_max: 8, depth_limit: 6 };
+            let serial = serial_dfs(&tree);
+            for par_depth in [0usize, 2, 5, 50] {
+                let par = rayon_dfs(&tree, par_depth);
+                assert_eq!(par.expanded, serial.expanded, "seed {seed} depth {par_depth}");
+                assert_eq!(par.goals, serial.goals, "seed {seed} depth {par_depth}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_serial_on_nqueens() {
+        let q = NQueens::new(9);
+        let serial = serial_dfs(&q);
+        let par = rayon_dfs(&q, 4);
+        assert_eq!(par.expanded, serial.expanded);
+        assert_eq!(par.goals, serial.goals);
+        assert_eq!(par.goals, 352);
+    }
+
+    #[test]
+    fn zero_cutoff_is_pure_serial() {
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 5 };
+        let serial = serial_dfs(&tree);
+        let par = rayon_dfs(&tree, 0);
+        assert_eq!(par.expanded, serial.expanded);
+    }
+
+    #[test]
+    fn single_node_tree() {
+        let tree = GeometricTree { seed: 0, b_max: 8, depth_limit: 6 }; // W = 1
+        let par = rayon_dfs(&tree, 4);
+        assert_eq!(par.expanded, 1);
+    }
+}

@@ -1,0 +1,24 @@
+//! Real multicore depth-first search over [`uts_tree::TreeProblem`].
+//!
+//! The rest of the workspace *simulates* 1992 machines; this crate is the
+//! present-day counterpart: actually-parallel exhaustive tree search on
+//! the host, with the same anomaly-free semantics (every node expanded
+//! exactly once, goal counts identical to serial DFS regardless of thread
+//! count or schedule).
+//!
+//! Two executors:
+//!
+//! * [`rayon_dfs`] — structured fork-join: subtrees above a depth cutoff
+//!   become rayon tasks, deeper subtrees run serially. Zero unsafe, zero
+//!   shared state; granularity is controlled by the cutoff.
+//! * [`deque_dfs`] — an explicit work-stealing pool (crossbeam deques +
+//!   scoped threads): each worker owns a deque of frontier nodes, steals
+//!   when empty, and the pool terminates when the global outstanding-node
+//!   count reaches zero. This is the receiver-initiated MIMD scheme of
+//!   the paper's Sec. 9 comparison, for real.
+
+pub mod deque;
+pub mod fork_join;
+
+pub use deque::{deque_dfs, DequeStats};
+pub use fork_join::{rayon_dfs, ParStats};

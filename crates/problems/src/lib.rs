@@ -1,0 +1,36 @@
+//! Additional unstructured-tree domains.
+//!
+//! The paper's introduction motivates parallel tree search with problems
+//! "in artificial intelligence, combinatorial optimization, operations
+//! research and Monte-Carlo evaluations" — depth-first branch-and-bound,
+//! IDA\*, and backtracking (Sec. 2). Besides the 15-puzzle (the paper's
+//! own experimental domain, in `uts-puzzle15`) this crate provides three
+//! more domains over the same [`uts_tree::TreeProblem`] substrate, each of
+//! which produces exactly the *highly irregular* trees the load-balancing
+//! schemes were designed for:
+//!
+//! * [`nqueens`] — backtracking (bitmask column/diagonal pruning);
+//! * [`sat`] — DPLL with unit propagation over seeded random 3-SAT;
+//! * [`knapsack`] — 0/1-knapsack enumeration with fractional-relaxation
+//!   bound pruning against a greedy incumbent (a deterministic,
+//!   sharing-free branch-and-bound that is safe to run lockstep-parallel);
+//! * [`sliding`] — the generalized N×N sliding-tile puzzle (8/15/24-…),
+//!   cross-validated node-for-node against the packed `uts-puzzle15`;
+//! * [`montecarlo`] — weighted path enumeration for functional-integral
+//!   evaluation (the paper's ref. 35 workload family).
+//!
+//! All domains are deterministic and exhaustive, so parallel runs expand
+//! the serial node count — the anomaly-free setting the paper's analysis
+//! assumes.
+
+pub mod knapsack;
+pub mod montecarlo;
+pub mod nqueens;
+pub mod sat;
+pub mod sliding;
+
+pub use knapsack::{Knapsack, KnapsackNode};
+pub use montecarlo::{PathIntegral, PathNode};
+pub use nqueens::{NQueens, QueensNode};
+pub use sat::{random_3sat, Assignment, Cnf, Dpll};
+pub use sliding::{Side, Sliding, SlidingState};

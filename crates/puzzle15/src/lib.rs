@@ -1,0 +1,28 @@
+//! The 15-puzzle — the paper's experimental workload (Sec. 5).
+//!
+//! "15-puzzle is a 4×4 square tray containing 15 square tiles ... The goal
+//! is to transform the initial position into the goal position by sliding
+//! the tiles around. The 15-puzzle problem is particularly suited for
+//! testing the effectiveness of dynamic load balancing schemes, as it is
+//! possible to create search spaces of different sizes (W) by choosing
+//! appropriate initial positions."
+//!
+//! This crate provides:
+//!
+//! * [`Board`] — a 4-bits-per-cell packed board;
+//! * [`PuzzleState`] / [`Puzzle15`] — an [`uts_tree::HeuristicProblem`]
+//!   with an incrementally maintained Manhattan-distance heuristic and
+//!   inverse-move pruning (the standard IDA\* formulation of Korf 1985);
+//! * [`instances`] — the classic Korf (1985) benchmark instances plus a
+//!   seeded scramble generator;
+//! * [`calibrate`] — pick `(instance, bound)` workloads whose serial node
+//!   count `W` approximates the paper's four problem sizes.
+
+pub mod board;
+pub mod calibrate;
+pub mod instances;
+pub mod state;
+
+pub use board::{Board, Move, GOAL};
+pub use instances::{korf_instances, scrambled, Instance};
+pub use state::{Puzzle15, PuzzleState};

@@ -1,0 +1,291 @@
+//! Scan (parallel-prefix) primitives in the style of Blelloch's
+//! *"Scans as Primitive Parallel Operations"* (IEEE ToC 1989), which the
+//! paper's load-balancing setup step relies on (Karypis & Kumar, Sec. 3.3).
+//!
+//! On the CM-2 these operations were provided by dedicated scan hardware; the
+//! simulator in `uts-machine` charges them according to a pluggable cost
+//! model (`O(1)` on the CM-2, `O(log P)` on a hypercube, `O(sqrt P)` on a
+//! mesh), while this crate provides the *functional* semantics used to
+//! compute processor enumerations and the rendezvous matching.
+//!
+//! Two execution strategies are provided with identical results:
+//!
+//! * [`seq`] — straightforward sequential scans (the oracle);
+//! * [`par`] — rayon-based two-pass (up-sweep/down-sweep over chunks)
+//!   parallel scans for large inputs.
+//!
+//! The higher-level helpers ([`enumerate_marked`], [`pack_indices`],
+//! [`rendezvous_match`], [`rendezvous_match_from`]) implement exactly the
+//! processor-matching computations of the paper: enumerating busy and idle
+//! processors and pairing the k-th busy with the k-th idle, optionally
+//! rotated by a global pointer.
+
+pub mod op;
+pub mod par;
+pub mod permute;
+pub mod seq;
+pub mod segmented;
+
+pub use op::{MaxOp, MinOp, OrOp, ScanOp, SumOp};
+pub use permute::{gather, pack, scatter, unpack};
+
+/// Cutover length below which the parallel entry points fall back to the
+/// sequential implementation (parallel setup costs dominate under this size).
+pub const PAR_THRESHOLD: usize = 1 << 14;
+
+/// Exclusive sum-scan (`out[i] = sum of xs[..i]`, `out[0] = 0`), picking the
+/// sequential or parallel strategy by input length.
+///
+/// ```
+/// assert_eq!(uts_scan::exclusive_sum(&[3, 1, 4, 1]), vec![0, 3, 4, 8]);
+/// ```
+pub fn exclusive_sum(xs: &[u64]) -> Vec<u64> {
+    if xs.len() < PAR_THRESHOLD {
+        seq::exclusive_scan::<SumOp>(xs)
+    } else {
+        par::exclusive_scan::<SumOp>(xs)
+    }
+}
+
+/// Inclusive sum-scan (`out[i] = sum of xs[..=i]`).
+///
+/// ```
+/// assert_eq!(uts_scan::inclusive_sum(&[3, 1, 4, 1]), vec![3, 4, 8, 9]);
+/// ```
+pub fn inclusive_sum(xs: &[u64]) -> Vec<u64> {
+    if xs.len() < PAR_THRESHOLD {
+        seq::inclusive_scan::<SumOp>(xs)
+    } else {
+        par::inclusive_scan::<SumOp>(xs)
+    }
+}
+
+/// Total of a slice via the same reduction tree the scans use.
+pub fn reduce_sum(xs: &[u64]) -> u64 {
+    if xs.len() < PAR_THRESHOLD {
+        xs.iter().copied().sum()
+    } else {
+        use rayon::prelude::*;
+        xs.par_iter().copied().sum()
+    }
+}
+
+/// Count the `true` flags (the `A` and `I` of the paper: number of busy /
+/// idle processors), the reduction the machine performs before testing a
+/// trigger condition.
+pub fn count_marked(flags: &[bool]) -> usize {
+    if flags.len() < PAR_THRESHOLD {
+        flags.iter().filter(|&&b| b).count()
+    } else {
+        use rayon::prelude::*;
+        flags.par_iter().filter(|&&b| b).count()
+    }
+}
+
+/// Enumerate marked elements: `out[i] = number of marked elements strictly
+/// before i` (an exclusive +-scan of the 0/1 flag vector). Marked element
+/// `i` therefore receives its 0-based rank `out[i]` among marked elements.
+///
+/// This is the paper's "enumerating both the idle and the busy processors"
+/// (Sec. 2.1) used to set up the one-on-one matching.
+///
+/// ```
+/// let flags = [true, false, true, true, false];
+/// assert_eq!(uts_scan::enumerate_marked(&flags), vec![0, 1, 1, 2, 3]);
+/// ```
+pub fn enumerate_marked(flags: &[bool]) -> Vec<usize> {
+    let ones: Vec<u64> = flags.iter().map(|&b| b as u64).collect();
+    exclusive_sum(&ones).into_iter().map(|v| v as usize).collect()
+}
+
+/// Collect the indices of marked elements, in index order ("pack").
+///
+/// ```
+/// assert_eq!(uts_scan::pack_indices(&[false, true, true, false, true]), vec![1, 2, 4]);
+/// ```
+pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
+    let ranks = enumerate_marked(flags);
+    let total = ranks.last().map_or(0, |&r| r) + usize::from(*flags.last().unwrap_or(&false));
+    let mut out = vec![0usize; total];
+    for (i, &f) in flags.iter().enumerate() {
+        if f {
+            out[ranks[i]] = i;
+        }
+    }
+    out
+}
+
+/// One busy→idle pairing produced by the rendezvous allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pair {
+    /// Index of the donating (busy) processor.
+    pub donor: usize,
+    /// Index of the receiving (idle) processor.
+    pub receiver: usize,
+}
+
+/// Rendezvous allocation (Hillis, *The Connection Machine*): match the k-th
+/// busy processor with the k-th idle processor, for `k < min(A, I)`.
+///
+/// This is the *nGP* matching of the paper: the enumeration always starts at
+/// processor 0, so processors early in the index order donate repeatedly.
+pub fn rendezvous_match(busy: &[bool], idle: &[bool]) -> Vec<Pair> {
+    rendezvous_match_from(busy, idle, 0)
+}
+
+/// Rendezvous allocation with the busy enumeration rotated to start at
+/// `start` (the processor *after* the paper's global pointer).
+///
+/// The k-th busy processor *in the circular order `start, start+1, ..,
+/// start-1`* is matched with the k-th idle processor *in plain index order*
+/// (the paper rotates only the busy enumeration; idle processors are
+/// enumerated normally — see Fig. 2). With `start = 0` this degenerates to
+/// [`rendezvous_match`] (nGP).
+///
+/// Returns `min(A, I)` pairs; if `I > A` the surplus idle processors receive
+/// no work, exactly as in the paper.
+pub fn rendezvous_match_from(busy: &[bool], idle: &[bool], start: usize) -> Vec<Pair> {
+    assert_eq!(busy.len(), idle.len(), "busy/idle flag vectors must cover the same PEs");
+    let p = busy.len();
+    if p == 0 {
+        return Vec::new();
+    }
+    let start = start % p;
+    // Busy processors in circular order from `start`. On the machine this is
+    // two segmented enumerations (indices >= start, then indices < start)
+    // glued together; functionally it is a rotation of the packed index list.
+    let packed_busy = pack_indices(busy);
+    let a = packed_busy.len();
+    let rotation = packed_busy.partition_point(|&i| i < start);
+    let packed_idle = pack_indices(idle);
+    let n = a.min(packed_idle.len());
+    let mut pairs = Vec::with_capacity(n);
+    for k in 0..n {
+        let donor = packed_busy[(rotation + k) % a];
+        pairs.push(Pair { donor, receiver: packed_idle[k] });
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exclusive_sum_empty_and_single() {
+        assert_eq!(exclusive_sum(&[]), Vec::<u64>::new());
+        assert_eq!(exclusive_sum(&[7]), vec![0]);
+    }
+
+    #[test]
+    fn inclusive_matches_exclusive_shifted() {
+        let xs = [5u64, 0, 2, 9, 1];
+        let ex = exclusive_sum(&xs);
+        let inc = inclusive_sum(&xs);
+        for i in 0..xs.len() {
+            assert_eq!(inc[i], ex[i] + xs[i]);
+        }
+    }
+
+    #[test]
+    fn enumerate_none_marked() {
+        assert_eq!(enumerate_marked(&[false, false]), vec![0, 0]);
+        assert_eq!(pack_indices(&[false, false]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn enumerate_all_marked() {
+        assert_eq!(enumerate_marked(&[true, true, true]), vec![0, 1, 2]);
+        assert_eq!(pack_indices(&[true, true, true]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn count_marked_counts() {
+        assert_eq!(count_marked(&[true, false, true]), 2);
+        assert_eq!(count_marked(&[]), 0);
+    }
+
+    /// The worked example of the paper's Fig. 2 (8 PEs, PEs 6 and 7 idle,
+    /// global pointer at PE 5 → matching starts at PE 6's successor among
+    /// busy PEs, i.e. PE 8). Paper indices are 1-based; ours are 0-based.
+    #[test]
+    fn figure2_example1_ngp() {
+        // PEs 1..8 (0-based 0..8): B B B B B I I B
+        let busy = [true, true, true, true, true, false, false, true];
+        let idle = busy.map(|b| !b);
+        let pairs = rendezvous_match(&busy, &idle);
+        // nGP matches idle 6,7 (0-based 5,6) to busy 1,2 (0-based 0,1).
+        assert_eq!(
+            pairs,
+            vec![Pair { donor: 0, receiver: 5 }, Pair { donor: 1, receiver: 6 }]
+        );
+    }
+
+    #[test]
+    fn figure2_example1_gp() {
+        let busy = [true, true, true, true, true, false, false, true];
+        let idle = busy.map(|b| !b);
+        // Global pointer at PE 5 (0-based 4) → start enumerating busy PEs at
+        // 0-based index 5; first busy PE from there is 7 (paper's PE 8).
+        let pairs = rendezvous_match_from(&busy, &idle, 5);
+        // GP matches idle 6,7 (0-based 5,6) to busy 8,1 (0-based 7,0).
+        assert_eq!(
+            pairs,
+            vec![Pair { donor: 7, receiver: 5 }, Pair { donor: 0, receiver: 6 }]
+        );
+    }
+
+    #[test]
+    fn figure2_example2_gp_second_round() {
+        // After the first GP round the pointer advanced to PE 1 (0-based 0);
+        // same busy/idle pattern again.
+        let busy = [true, true, true, true, true, false, false, true];
+        let idle = busy.map(|b| !b);
+        let pairs = rendezvous_match_from(&busy, &idle, 1);
+        // GP now matches them to busy 2,3 (0-based 1,2).
+        assert_eq!(
+            pairs,
+            vec![Pair { donor: 1, receiver: 5 }, Pair { donor: 2, receiver: 6 }]
+        );
+    }
+
+    #[test]
+    fn surplus_idle_receive_nothing() {
+        let busy = [false, true, false, false];
+        let idle = [true, false, true, true];
+        let pairs = rendezvous_match(&busy, &idle);
+        assert_eq!(pairs, vec![Pair { donor: 1, receiver: 0 }]);
+    }
+
+    #[test]
+    fn surplus_busy_keep_working() {
+        let busy = [true, true, true, false];
+        let idle = [false, false, false, true];
+        let pairs = rendezvous_match(&busy, &idle);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0], Pair { donor: 0, receiver: 3 });
+    }
+
+    #[test]
+    fn rotation_wraps_past_end() {
+        let busy = [true, false, true, false];
+        let idle = [false, true, false, true];
+        // start beyond the last busy index wraps to the first busy PE.
+        let pairs = rendezvous_match_from(&busy, &idle, 3);
+        assert_eq!(
+            pairs,
+            vec![Pair { donor: 0, receiver: 1 }, Pair { donor: 2, receiver: 3 }]
+        );
+    }
+
+    #[test]
+    fn empty_machine_matches_nothing() {
+        assert_eq!(rendezvous_match(&[], &[]), Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "same PEs")]
+    fn mismatched_lengths_panic() {
+        let _ = rendezvous_match(&[true], &[true, false]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Scan operators: the associative monoids a scan can run over.
+//!
+//! Blelloch's scan model admits any associative operator with an identity;
+//! the machine's matching step uses +-scans, while max-/min-/or-scans are
+//! provided for the segmented variants and for tests of the substrate.
+
+/// An associative operator with identity over a copyable element type.
+///
+/// Implementations must satisfy, for all `a, b, c`:
+/// `combine(a, combine(b, c)) == combine(combine(a, b), c)` and
+/// `combine(identity(), a) == a == combine(a, identity())`.
+/// These laws are checked by property tests in this crate.
+pub trait ScanOp {
+    /// The element type scanned over.
+    type Elem: Copy + Send + Sync;
+    /// The identity element of the monoid.
+    fn identity() -> Self::Elem;
+    /// The associative combination.
+    fn combine(a: Self::Elem, b: Self::Elem) -> Self::Elem;
+}
+
+/// Addition over `u64` (wrapping is a logic error; the simulator's counts
+/// stay far below `u64::MAX`).
+pub struct SumOp;
+
+impl ScanOp for SumOp {
+    type Elem = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        a + b
+    }
+}
+
+/// Maximum over `u64`.
+pub struct MaxOp;
+
+impl ScanOp for MaxOp {
+    type Elem = u64;
+    fn identity() -> u64 {
+        0
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        a.max(b)
+    }
+}
+
+/// Minimum over `u64`.
+pub struct MinOp;
+
+impl ScanOp for MinOp {
+    type Elem = u64;
+    fn identity() -> u64 {
+        u64::MAX
+    }
+    fn combine(a: u64, b: u64) -> u64 {
+        a.min(b)
+    }
+}
+
+/// Logical OR over `bool`.
+pub struct OrOp;
+
+impl ScanOp for OrOp {
+    type Elem = bool;
+    fn identity() -> bool {
+        false
+    }
+    fn combine(a: bool, b: bool) -> bool {
+        a || b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities_are_neutral() {
+        assert_eq!(SumOp::combine(SumOp::identity(), 5), 5);
+        assert_eq!(MaxOp::combine(MaxOp::identity(), 5), 5);
+        assert_eq!(MinOp::combine(MinOp::identity(), 5), 5);
+        assert!(!OrOp::combine(OrOp::identity(), false));
+        assert!(OrOp::combine(OrOp::identity(), true));
+    }
+
+    #[test]
+    fn ops_are_associative_on_samples() {
+        let samples = [0u64, 1, 7, u64::MAX / 4, 1 << 40];
+        for &a in &samples {
+            for &b in &samples {
+                for &c in &samples {
+                    assert_eq!(
+                        MaxOp::combine(a, MaxOp::combine(b, c)),
+                        MaxOp::combine(MaxOp::combine(a, b), c)
+                    );
+                    assert_eq!(
+                        MinOp::combine(a, MinOp::combine(b, c)),
+                        MinOp::combine(MinOp::combine(a, b), c)
+                    );
+                }
+            }
+        }
+    }
+}

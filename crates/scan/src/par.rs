@@ -1,0 +1,101 @@
+//! Rayon-parallel scans using the classic two-pass (up-sweep / down-sweep)
+//! chunked algorithm.
+//!
+//! The input is cut into cache-friendly chunks; pass 1 reduces each chunk in
+//! parallel, a short sequential scan over the per-chunk sums produces each
+//! chunk's incoming prefix, and pass 2 scans each chunk in parallel seeded
+//! with that prefix. The result is bit-identical to [`crate::seq`] for any
+//! associative operator (property-tested).
+
+use rayon::prelude::*;
+
+use crate::op::ScanOp;
+use crate::seq;
+
+/// Chunk size for the two-pass algorithm. 64 KiB of `u64`s per chunk keeps
+/// pass-2 writes streaming while giving rayon enough tasks to balance.
+const CHUNK: usize = 8192;
+
+/// Parallel exclusive scan. Falls back to the sequential scan for inputs
+/// that fit in a single chunk.
+pub fn exclusive_scan<O: ScanOp>(xs: &[O::Elem]) -> Vec<O::Elem> {
+    scan_impl::<O>(xs, false)
+}
+
+/// Parallel inclusive scan.
+pub fn inclusive_scan<O: ScanOp>(xs: &[O::Elem]) -> Vec<O::Elem> {
+    scan_impl::<O>(xs, true)
+}
+
+fn scan_impl<O: ScanOp>(xs: &[O::Elem], inclusive: bool) -> Vec<O::Elem> {
+    if xs.len() <= CHUNK {
+        return if inclusive {
+            seq::inclusive_scan::<O>(xs)
+        } else {
+            seq::exclusive_scan::<O>(xs)
+        };
+    }
+    // Up-sweep: reduce each chunk.
+    let chunk_sums: Vec<O::Elem> =
+        xs.par_chunks(CHUNK).map(|c| seq::reduce::<O>(c)).collect();
+    // Exclusive scan of chunk sums gives each chunk's incoming prefix. The
+    // number of chunks is tiny, so this stays sequential.
+    let prefixes = seq::exclusive_scan::<O>(&chunk_sums);
+    // Down-sweep: scan each chunk seeded with its prefix.
+    let mut out = vec![O::identity(); xs.len()];
+    out.par_chunks_mut(CHUNK)
+        .zip(xs.par_chunks(CHUNK))
+        .zip(prefixes.par_iter())
+        .for_each(|((out_chunk, in_chunk), &prefix)| {
+            let mut acc = prefix;
+            if inclusive {
+                for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                    acc = O::combine(acc, x);
+                    *o = acc;
+                }
+            } else {
+                for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
+                    *o = acc;
+                    acc = O::combine(acc, x);
+                }
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MaxOp, SumOp};
+    use proptest::prelude::*;
+
+    #[test]
+    fn large_input_crosses_chunk_boundary() {
+        let xs: Vec<u64> = (0..3 * CHUNK as u64 + 17).map(|i| i % 11).collect();
+        assert_eq!(exclusive_scan::<SumOp>(&xs), seq::exclusive_scan::<SumOp>(&xs));
+        assert_eq!(inclusive_scan::<SumOp>(&xs), seq::inclusive_scan::<SumOp>(&xs));
+    }
+
+    #[test]
+    fn exactly_one_chunk_uses_fallback() {
+        let xs: Vec<u64> = (0..CHUNK as u64).collect();
+        assert_eq!(exclusive_scan::<SumOp>(&xs), seq::exclusive_scan::<SumOp>(&xs));
+    }
+
+    proptest! {
+        #[test]
+        fn par_exclusive_matches_seq(xs in proptest::collection::vec(0u64..1000, 0..40_000)) {
+            prop_assert_eq!(exclusive_scan::<SumOp>(&xs), seq::exclusive_scan::<SumOp>(&xs));
+        }
+
+        #[test]
+        fn par_inclusive_matches_seq(xs in proptest::collection::vec(0u64..1000, 0..40_000)) {
+            prop_assert_eq!(inclusive_scan::<SumOp>(&xs), seq::inclusive_scan::<SumOp>(&xs));
+        }
+
+        #[test]
+        fn par_max_scan_matches_seq(xs in proptest::collection::vec(0u64..u64::MAX/2, 0..30_000)) {
+            prop_assert_eq!(inclusive_scan::<MaxOp>(&xs), seq::inclusive_scan::<MaxOp>(&xs));
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Data-movement primitives: gather, scatter, and conditional pack/unpack.
+//!
+//! On the CM-2 these are router operations ("general communication" in the
+//! paper's Sec. 3.3, the `O(log^2 P)`-on-a-hypercube part of a balancing
+//! phase); functionally they are permutations and selections, provided
+//! here to round out the scan substrate.
+
+/// Gather: `out[i] = values[indices[i]]`.
+///
+/// # Panics
+/// Panics if any index is out of bounds.
+pub fn gather<T: Copy>(values: &[T], indices: &[usize]) -> Vec<T> {
+    indices.iter().map(|&i| values[i]).collect()
+}
+
+/// Scatter: write `values[k]` to slot `indices[k]` of a fresh vector of
+/// `len` `default`-filled slots. Later writes win on collision (the CM-2
+/// router's deterministic-collision convention is arbitrary; tests pin
+/// ours).
+///
+/// # Panics
+/// Panics if lengths differ or an index is out of bounds.
+pub fn scatter<T: Copy>(values: &[T], indices: &[usize], len: usize, default: T) -> Vec<T> {
+    assert_eq!(values.len(), indices.len(), "values and indices must align");
+    let mut out = vec![default; len];
+    for (&v, &i) in values.iter().zip(indices) {
+        out[i] = v;
+    }
+    out
+}
+
+/// Pack: the values whose flag is set, in index order (the value-level
+/// counterpart of [`crate::pack_indices`]).
+pub fn pack<T: Copy>(values: &[T], flags: &[bool]) -> Vec<T> {
+    assert_eq!(values.len(), flags.len(), "values and flags must align");
+    values.iter().zip(flags).filter(|(_, &f)| f).map(|(&v, _)| v).collect()
+}
+
+/// Unpack: inverse of [`pack`] — distribute `packed` values back to the
+/// flagged slots of a `default`-filled vector shaped like `flags`.
+///
+/// # Panics
+/// Panics if `packed` has fewer values than `flags` has set bits.
+pub fn unpack<T: Copy>(packed: &[T], flags: &[bool], default: T) -> Vec<T> {
+    let mut it = packed.iter();
+    flags
+        .iter()
+        .map(|&f| {
+            if f {
+                *it.next().expect("packed values must cover every set flag")
+            } else {
+                default
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn gather_reorders() {
+        assert_eq!(gather(&[10, 20, 30], &[2, 0, 1, 2]), vec![30, 10, 20, 30]);
+        assert_eq!(gather::<u8>(&[1], &[]), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn scatter_places_and_defaults() {
+        assert_eq!(scatter(&[7, 9], &[3, 1], 5, 0), vec![0, 9, 0, 7, 0]);
+    }
+
+    #[test]
+    fn scatter_collision_last_writer_wins() {
+        assert_eq!(scatter(&[1, 2], &[0, 0], 2, 9), vec![2, 9]);
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let values = [5, 6, 7, 8];
+        let flags = [true, false, true, false];
+        let packed = pack(&values, &flags);
+        assert_eq!(packed, vec![5, 7]);
+        let back = unpack(&packed, &flags, 0);
+        assert_eq!(back, vec![5, 0, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_pack_rejected() {
+        let _ = pack(&[1, 2], &[true]);
+    }
+
+    proptest! {
+        #[test]
+        fn gather_then_scatter_is_identity_on_permutations(n in 1usize..200, seed in 0u64..1000) {
+            // Build a deterministic permutation from the seed.
+            let mut perm: Vec<usize> = (0..n).collect();
+            let mut s = seed;
+            for i in (1..n).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                perm.swap(i, (s >> 33) as usize % (i + 1));
+            }
+            let values: Vec<u64> = (0..n as u64).map(|v| v * 3 + 1).collect();
+            let gathered = gather(&values, &perm);
+            // Scattering the gathered values back through the same
+            // permutation restores the original.
+            let restored = scatter(&gathered, &perm, n, u64::MAX);
+            prop_assert_eq!(restored, values);
+        }
+
+        #[test]
+        fn unpack_inverts_pack(flags in proptest::collection::vec(any::<bool>(), 0..100)) {
+            let values: Vec<u32> = (0..flags.len() as u32).collect();
+            let packed = pack(&values, &flags);
+            let back = unpack(&packed, &flags, u32::MAX);
+            for (i, &f) in flags.iter().enumerate() {
+                if f {
+                    prop_assert_eq!(back[i], values[i]);
+                } else {
+                    prop_assert_eq!(back[i], u32::MAX);
+                }
+            }
+        }
+    }
+}

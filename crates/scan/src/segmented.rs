@@ -1,0 +1,126 @@
+//! Segmented scans: scans restarted at segment boundaries.
+//!
+//! Segmented +-scans are the standard CM-2 building block for performing
+//! many independent enumerations in one machine operation — the GP matching
+//! scheme's rotated busy enumeration is two segments (indices at/after the
+//! global pointer, then indices before it) enumerated in one pass.
+
+use crate::op::ScanOp;
+
+/// Exclusive segmented scan. `flags[i] == true` marks `i` as the first
+/// element of a new segment; the running value resets to the identity there.
+/// Element 0 always starts a segment regardless of its flag.
+pub fn exclusive_segmented<O: ScanOp>(xs: &[O::Elem], flags: &[bool]) -> Vec<O::Elem> {
+    assert_eq!(xs.len(), flags.len(), "values and segment flags must align");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = O::identity();
+    for (i, &x) in xs.iter().enumerate() {
+        if flags[i] {
+            acc = O::identity();
+        }
+        out.push(acc);
+        acc = O::combine(acc, x);
+    }
+    out
+}
+
+/// Inclusive segmented scan (value at a segment head is the head itself).
+pub fn inclusive_segmented<O: ScanOp>(xs: &[O::Elem], flags: &[bool]) -> Vec<O::Elem> {
+    assert_eq!(xs.len(), flags.len(), "values and segment flags must align");
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = O::identity();
+    for (i, &x) in xs.iter().enumerate() {
+        if flags[i] {
+            acc = O::identity();
+        }
+        acc = O::combine(acc, x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Per-segment totals, in segment order.
+pub fn segment_totals<O: ScanOp>(xs: &[O::Elem], flags: &[bool]) -> Vec<O::Elem> {
+    assert_eq!(xs.len(), flags.len(), "values and segment flags must align");
+    let mut out = Vec::new();
+    let mut acc = O::identity();
+    for (i, &x) in xs.iter().enumerate() {
+        if i != 0 && flags[i] {
+            out.push(acc);
+            acc = O::identity();
+        }
+        acc = O::combine(acc, x);
+    }
+    if !xs.is_empty() {
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::SumOp;
+    use crate::seq;
+    use proptest::prelude::*;
+
+    #[test]
+    fn restarts_at_segment_heads() {
+        let xs = [1u64, 2, 3, 4, 5];
+        let flags = [true, false, true, false, false];
+        assert_eq!(exclusive_segmented::<SumOp>(&xs, &flags), vec![0, 1, 0, 3, 7]);
+        assert_eq!(inclusive_segmented::<SumOp>(&xs, &flags), vec![1, 3, 3, 7, 12]);
+    }
+
+    #[test]
+    fn single_segment_equals_plain_scan() {
+        let xs = [4u64, 1, 1, 8];
+        let flags = [true, false, false, false];
+        assert_eq!(
+            exclusive_segmented::<SumOp>(&xs, &flags),
+            seq::exclusive_scan::<SumOp>(&xs)
+        );
+    }
+
+    #[test]
+    fn totals_per_segment() {
+        let xs = [1u64, 2, 3, 4, 5];
+        let flags = [true, false, true, true, false];
+        assert_eq!(segment_totals::<SumOp>(&xs, &flags), vec![3, 3, 9]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(exclusive_segmented::<SumOp>(&[], &[]), Vec::<u64>::new());
+        assert_eq!(segment_totals::<SumOp>(&[], &[]), Vec::<u64>::new());
+    }
+
+    proptest! {
+        /// Concatenating per-segment plain scans equals the segmented scan.
+        #[test]
+        fn segmented_equals_per_segment_scans(
+            xs in proptest::collection::vec(0u64..100, 1..200),
+            seed in 0u64..1000,
+        ) {
+            let mut flags = vec![false; xs.len()];
+            flags[0] = true;
+            // Deterministic pseudo-random segment heads.
+            let mut s = seed;
+            for f in flags.iter_mut().skip(1) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *f = (s >> 33) % 4 == 0;
+            }
+            let got = exclusive_segmented::<SumOp>(&xs, &flags);
+            // Oracle: split and scan each segment separately.
+            let mut expect = Vec::new();
+            let mut seg_start = 0;
+            for i in 1..=xs.len() {
+                if i == xs.len() || flags[i] {
+                    expect.extend(seq::exclusive_scan::<SumOp>(&xs[seg_start..i]));
+                    seg_start = i;
+                }
+            }
+            prop_assert_eq!(got, expect);
+        }
+    }
+}

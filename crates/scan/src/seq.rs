@@ -1,0 +1,67 @@
+//! Sequential reference implementations of the scans.
+//!
+//! These are the oracles against which [`crate::par`] is property-tested,
+//! and the implementations used for short inputs where parallel setup would
+//! dominate.
+
+use crate::op::ScanOp;
+
+/// Exclusive scan: `out[i] = xs[0] ⊕ … ⊕ xs[i-1]`, `out[0] = identity`.
+pub fn exclusive_scan<O: ScanOp>(xs: &[O::Elem]) -> Vec<O::Elem> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = O::identity();
+    for &x in xs {
+        out.push(acc);
+        acc = O::combine(acc, x);
+    }
+    out
+}
+
+/// Inclusive scan: `out[i] = xs[0] ⊕ … ⊕ xs[i]`.
+pub fn inclusive_scan<O: ScanOp>(xs: &[O::Elem]) -> Vec<O::Elem> {
+    let mut out = Vec::with_capacity(xs.len());
+    let mut acc = O::identity();
+    for &x in xs {
+        acc = O::combine(acc, x);
+        out.push(acc);
+    }
+    out
+}
+
+/// Reduction over the whole slice.
+pub fn reduce<O: ScanOp>(xs: &[O::Elem]) -> O::Elem {
+    xs.iter().fold(O::identity(), |acc, &x| O::combine(acc, x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{MaxOp, MinOp, SumOp};
+
+    #[test]
+    fn exclusive_sum_basic() {
+        assert_eq!(exclusive_scan::<SumOp>(&[1, 2, 3, 4]), vec![0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn inclusive_sum_basic() {
+        assert_eq!(inclusive_scan::<SumOp>(&[1, 2, 3, 4]), vec![1, 3, 6, 10]);
+    }
+
+    #[test]
+    fn max_scan_tracks_running_max() {
+        assert_eq!(inclusive_scan::<MaxOp>(&[2, 1, 5, 3]), vec![2, 2, 5, 5]);
+        assert_eq!(exclusive_scan::<MaxOp>(&[2, 1, 5, 3]), vec![0, 2, 2, 5]);
+    }
+
+    #[test]
+    fn min_scan_tracks_running_min() {
+        assert_eq!(inclusive_scan::<MinOp>(&[4, 7, 2, 9]), vec![4, 4, 2, 2]);
+    }
+
+    #[test]
+    fn reduce_matches_sum() {
+        assert_eq!(reduce::<SumOp>(&[1, 2, 3]), 6);
+        assert_eq!(reduce::<SumOp>(&[]), 0);
+    }
+}

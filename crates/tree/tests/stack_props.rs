@@ -1,0 +1,122 @@
+//! Property tests of the splittable DFS stack: arbitrary interleavings of
+//! pushes, pops and splits conserve nodes and invariants.
+
+use proptest::prelude::*;
+use uts_tree::{SearchStack, SplitPolicy};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Pop,
+    Push(Vec<u32>),
+    Split(SplitPolicy),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        2 => Just(Op::Pop),
+        2 => proptest::collection::vec(any::<u32>(), 0..5).prop_map(Op::Push),
+        1 => prop_oneof![
+            Just(SplitPolicy::Bottom),
+            Just(SplitPolicy::Half),
+            Just(SplitPolicy::Top)
+        ]
+        .prop_map(Op::Split),
+    ]
+}
+
+proptest! {
+    /// Every node that enters a stack leaves it exactly once, whether by
+    /// popping or by being donated to another stack.
+    #[test]
+    fn node_conservation(ops in proptest::collection::vec(arb_op(), 0..300)) {
+        let mut stack = SearchStack::from_root(0u32);
+        let mut donated: Vec<SearchStack<u32>> = Vec::new();
+        let mut entered = 1u64; // the root
+        let mut popped = 0u64;
+        for op in ops {
+            match op {
+                Op::Pop => {
+                    if stack.pop_next().is_some() {
+                        popped += 1;
+                    }
+                }
+                Op::Push(children) => {
+                    // push_frame is only legal after a pop in real use, but
+                    // the structure itself must tolerate any order.
+                    entered += children.len() as u64;
+                    stack.push_frame(children);
+                }
+                Op::Split(policy) => {
+                    let before = stack.len();
+                    if let Some(part) = stack.split(policy) {
+                        prop_assert!(!part.is_empty());
+                        prop_assert!(!stack.is_empty());
+                        prop_assert_eq!(stack.len() + part.len(), before);
+                        donated.push(part);
+                    } else {
+                        prop_assert!(before < 2, "len >= 2 must be splittable");
+                        prop_assert_eq!(stack.len(), before);
+                    }
+                }
+            }
+        }
+        let remaining =
+            stack.len() as u64 + donated.iter().map(|d| d.len() as u64).sum::<u64>();
+        prop_assert_eq!(entered, popped + remaining);
+    }
+
+    /// can_split is exactly len >= 2; is_empty is exactly len == 0.
+    #[test]
+    fn predicates_match_len(ops in proptest::collection::vec(arb_op(), 0..150)) {
+        let mut stack = SearchStack::from_root(1u32);
+        for op in ops {
+            match op {
+                Op::Pop => {
+                    stack.pop_next();
+                }
+                Op::Push(children) => stack.push_frame(children),
+                Op::Split(policy) => {
+                    stack.split(policy);
+                }
+            }
+            prop_assert_eq!(stack.can_split(), stack.len() >= 2);
+            #[allow(clippy::len_zero)]
+            let len_is_zero = stack.len() == 0;
+            prop_assert_eq!(stack.is_empty(), len_is_zero);
+            prop_assert_eq!(stack.iter().count(), stack.len());
+        }
+    }
+
+    /// Draining a donated part and the donor yields the same multiset as
+    /// draining the original stack (split never duplicates or loses).
+    #[test]
+    fn split_preserves_multiset(
+        frames in proptest::collection::vec(
+            proptest::collection::vec(0u32..1000, 1..6), 1..8),
+        policy_idx in 0usize..3,
+    ) {
+        let policy = [SplitPolicy::Bottom, SplitPolicy::Half, SplitPolicy::Top][policy_idx];
+        // Build a stack by simulated expansion.
+        let mut original = SearchStack::from_root(u32::MAX);
+        original.pop_next();
+        let mut all: Vec<u32> = Vec::new();
+        for frame in &frames {
+            all.extend(frame);
+            original.push_frame(frame.clone());
+        }
+        let mut split_side = original.clone();
+        let part = split_side.split(policy);
+        let mut collected: Vec<u32> = Vec::new();
+        while let Some(v) = split_side.pop_next() {
+            collected.push(v);
+        }
+        if let Some(mut part) = part {
+            while let Some(v) = part.pop_next() {
+                collected.push(v);
+            }
+        }
+        collected.sort_unstable();
+        all.sort_unstable();
+        prop_assert_eq!(collected, all);
+    }
+}

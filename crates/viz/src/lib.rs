@@ -1,0 +1,24 @@
+//! Dependency-free SVG charts for the reproduction's figures.
+//!
+//! Just enough of a plotting library to render the paper's data figures
+//! (Figs. 3, 4, 7, 8) as standalone `.svg` files: XY line/scatter charts
+//! with linear or logarithmic axes, automatic ticks, multiple named
+//! series, and a legend. No external crates; output is plain SVG 1.1.
+//!
+//! ```
+//! use uts_viz::{Chart, Scale, Series};
+//!
+//! let mut chart = Chart::new("Speedup vs P", "processors", "speedup");
+//! chart.x_scale(Scale::Log2).add(
+//!     Series::line("GP-D^K", vec![(64.0, 55.0), (256.0, 180.0), (1024.0, 420.0)]),
+//! );
+//! let svg = chart.render();
+//! assert!(svg.starts_with("<svg"));
+//! assert!(svg.contains("GP-D^K"));
+//! ```
+
+pub mod scale;
+pub mod svg;
+
+pub use scale::{ticks, Scale};
+pub use svg::{Chart, Series, SeriesKind};

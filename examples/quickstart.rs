@@ -1,0 +1,48 @@
+//! Quickstart: solve a 15-puzzle with serial IDA\*, then simulate the same
+//! search on a lockstep SIMD machine under the paper's GP-D^K scheme.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use simd_tree_search::prelude::*;
+
+fn main() {
+    // A reproducible instance: 40 random (non-backtracking) moves from the
+    // solved board.
+    let instance = puzzle15::scrambled(42, 40);
+    let puzzle = puzzle15::Puzzle15::new(instance.board());
+    println!("instance (seed 42, walk 40):\n{}", puzzle.start());
+
+    // --- serial IDA* ---
+    let ida = tree::ida::ida_star(&puzzle, 80);
+    let bound = ida.solution_cost.expect("scrambles are solvable by construction");
+    let w = ida.final_iteration().expanded;
+    println!("serial IDA*: optimal cost {bound}, iterations:");
+    for it in &ida.iterations {
+        println!("  bound {:2}: {:8} nodes, {} goal(s)", it.bound, it.expanded, it.goals);
+    }
+
+    // --- parallel search of the final iteration on a SIMD machine ---
+    let bounded = tree::problem::BoundedProblem::new(&puzzle, bound);
+    for p in [64usize, 256, 1024] {
+        let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
+        let out = run(&bounded, &cfg);
+        assert_eq!(out.report.nodes_expanded, w, "anomaly-free by construction");
+        println!(
+            "P={p:5}  GP-D^K: {} expansion cycles, {} balancing phases, \
+             speedup {:6.1}, efficiency {:.2}",
+            out.report.n_expand,
+            out.report.n_lb,
+            out.report.speedup(),
+            out.report.efficiency
+        );
+    }
+
+    // --- what the optimal static trigger would have been (eq. 18) ---
+    let params = analysis::TriggerParams::new(w, 1024, CostModel::cm2().lb_ratio(1024));
+    println!(
+        "analytic optimal static trigger for (W={w}, P=1024): x_o = {:.2}",
+        analysis::optimal_static_trigger(&params)
+    );
+}
