@@ -96,10 +96,8 @@ mod tests {
 
     #[test]
     fn unreachable_targets_are_skipped() {
-        let samples = grid(&[
-            (16, &[(500, 0.30), (5_000, 0.50)]),
-            (64, &[(500, 0.20), (5_000, 0.80)]),
-        ]);
+        let samples =
+            grid(&[(16, &[(500, 0.30), (5_000, 0.50)]), (64, &[(500, 0.20), (5_000, 0.80)])]);
         let c = extract_contour(&samples, 0.75);
         assert_eq!(c.len(), 1, "only P=64 brackets 0.75");
         assert_eq!(c[0].p, 64);
@@ -123,10 +121,8 @@ mod tests {
         }
         // And W/(P lg P) should be roughly constant (the model is exactly
         // linear in P lg P).
-        let ratios: Vec<f64> = contour
-            .iter()
-            .map(|c| c.w / (c.p as f64 * (c.p as f64).log2()))
-            .collect();
+        let ratios: Vec<f64> =
+            contour.iter().map(|c| c.w / (c.p as f64 * (c.p as f64).log2())).collect();
         let (min, max) =
             ratios.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
         // The log-space interpolation over a ×10 W grid introduces a few

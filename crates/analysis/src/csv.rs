@@ -25,12 +25,8 @@ pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
         .expect("writing to a String cannot fail");
     for row in rows {
         assert_eq!(row.len(), header.len(), "CSV row width must match header");
-        writeln!(
-            out,
-            "{}",
-            row.iter().map(|f| escape_field(f)).collect::<Vec<_>>().join(",")
-        )
-        .expect("writing to a String cannot fail");
+        writeln!(out, "{}", row.iter().map(|f| escape_field(f)).collect::<Vec<_>>().join(","))
+            .expect("writing to a String cannot fail");
     }
     out
 }

@@ -62,11 +62,7 @@ impl IsoeffRow {
 pub fn isoeff_table() -> Vec<IsoeffRow> {
     vec![
         IsoeffRow { scheme: "GP-S^x", architecture: "CM-2", formula: "O(P log P)" },
-        IsoeffRow {
-            scheme: "nGP-S^x",
-            architecture: "CM-2",
-            formula: "O(P log^{x/(1-x)} P)",
-        },
+        IsoeffRow { scheme: "nGP-S^x", architecture: "CM-2", formula: "O(P log^{x/(1-x)} P)" },
         IsoeffRow { scheme: "GP-S^x", architecture: "Hypercube", formula: "O(P log^3 P)" },
         IsoeffRow {
             scheme: "nGP-S^x",
@@ -74,23 +70,14 @@ pub fn isoeff_table() -> Vec<IsoeffRow> {
             formula: "O(P log^{2 + x/(1-x)} P)",
         },
         IsoeffRow { scheme: "GP-S^x", architecture: "Mesh", formula: "O(P^1.5 log P)" },
-        IsoeffRow {
-            scheme: "nGP-S^x",
-            architecture: "Mesh",
-            formula: "O(P^1.5 log^{x/(1-x)} P)",
-        },
+        IsoeffRow { scheme: "nGP-S^x", architecture: "Mesh", formula: "O(P^1.5 log^{x/(1-x)} P)" },
     ]
 }
 
 /// The paper's bound on DK overheads (Sec. 6.2): total DK overhead is at
 /// most twice that of the optimal static trigger. Returns the measured
 /// overhead ratio `(T_idle + T_lb)_DK / (T_idle + T_lb)_Sxo`.
-pub fn dk_overhead_ratio(
-    dk_t_idle: u64,
-    dk_t_lb: u64,
-    sxo_t_idle: u64,
-    sxo_t_lb: u64,
-) -> f64 {
+pub fn dk_overhead_ratio(dk_t_idle: u64, dk_t_lb: u64, sxo_t_idle: u64, sxo_t_lb: u64) -> f64 {
     let num = (dk_t_idle + dk_t_lb) as f64;
     let den = (sxo_t_idle + sxo_t_lb) as f64;
     if den == 0.0 {

@@ -90,11 +90,7 @@ mod tests {
 
     #[test]
     fn fixed_size_curve_filters_and_sorts() {
-        let samples = [
-            sample(256, 100, 0.5),
-            sample(64, 100, 0.9),
-            sample(64, 999, 0.99),
-        ];
+        let samples = [sample(256, 100, 0.5), sample(64, 100, 0.9), sample(64, 999, 0.99)];
         let curve = fixed_size_speedups(&samples, 100);
         assert_eq!(curve.len(), 2);
         assert_eq!(curve[0].p, 64);

@@ -36,8 +36,7 @@ pub fn counter_stats(counts: &[u32]) -> CounterStats {
     let mean = total as f64 / n as f64;
     let min = counts.iter().copied().min().unwrap() as u64;
     let max = counts.iter().copied().max().unwrap() as u64;
-    let var =
-        counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    let var = counts.iter().map(|&c| (c as f64 - mean).powi(2)).sum::<f64>() / n as f64;
     CounterStats { n, total, mean, min, max, stddev: var.sqrt(), gini: gini(counts) }
 }
 
@@ -57,11 +56,7 @@ pub fn gini(counts: &[u32]) -> f64 {
     }
     let mut sorted: Vec<u32> = counts.to_vec();
     sorted.sort_unstable();
-    let weighted: f64 = sorted
-        .iter()
-        .enumerate()
-        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
-        .sum();
+    let weighted: f64 = sorted.iter().enumerate().map(|(i, &x)| (i as f64 + 1.0) * x as f64).sum();
     (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
 }
 

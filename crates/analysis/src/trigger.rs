@@ -66,12 +66,7 @@ mod tests {
     /// 0.92, 0.95}. Our α = 1 − 1/e reproduces them within ±0.012.
     #[test]
     fn reproduces_table2_xo_column() {
-        let cases = [
-            (941_852u64, 0.82),
-            (3_055_171, 0.89),
-            (6_073_623, 0.92),
-            (16_110_463, 0.95),
-        ];
+        let cases = [(941_852u64, 0.82), (3_055_171, 0.89), (6_073_623, 0.92), (16_110_463, 0.95)];
         for (w, expect) in cases {
             let xo = optimal_static_trigger(&TriggerParams::new(w, 8192, 13.0 / 30.0));
             assert!((xo - expect).abs() < 0.012, "W={w}: x_o={xo:.3} vs paper {expect}");

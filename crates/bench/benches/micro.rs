@@ -7,7 +7,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use uts_puzzle15::{korf_instances, Puzzle15, PuzzleState};
-use uts_scan::{enumerate_marked, exclusive_sum, rendezvous_match_from};
+use uts_scan::{
+    enumerate_marked, exclusive_sum, rendezvous_match_from, rendezvous_match_from_into,
+    MatchScratch,
+};
 use uts_synth::GeometricTree;
 use uts_tree::{serial_dfs, SearchStack, SplitPolicy, TreeProblem};
 
@@ -35,6 +38,22 @@ fn bench_matching(c: &mut Criterion) {
         g.throughput(Throughput::Elements(p as u64));
         g.bench_with_input(BenchmarkId::new("match_from", p), &p, |b, _| {
             b.iter(|| rendezvous_match_from(black_box(&busy), black_box(&idle), black_box(17)))
+        });
+        // The engine hot path: the same matching with the packed-index and
+        // pair buffers reused across rounds instead of reallocated.
+        g.bench_with_input(BenchmarkId::new("match_from_into", p), &p, |b, _| {
+            let mut scratch = MatchScratch::default();
+            let mut pairs = Vec::new();
+            b.iter(|| {
+                rendezvous_match_from_into(
+                    black_box(&busy),
+                    black_box(&idle),
+                    black_box(17),
+                    &mut scratch,
+                    &mut pairs,
+                );
+                black_box(pairs.len())
+            })
         });
     }
     g.finish();

@@ -84,8 +84,7 @@ fn split(quick: bool) {
     ] {
         let puzzle = wl.puzzle();
         let bp = BoundedProblem::new(&puzzle, wl.bound);
-        let cfg = EngineConfig::new(p, Scheme::gp_static(0.8), CostModel::cm2())
-            .with_split(policy);
+        let cfg = EngineConfig::new(p, Scheme::gp_static(0.8), CostModel::cm2()).with_split(policy);
         let out = run(&bp, &cfg);
         t.row(vec![
             name.to_string(),
@@ -212,8 +211,7 @@ fn fairness(quick: bool) {
     let p = machine_p(quick);
     let puzzle = wl.puzzle();
     let bp = BoundedProblem::new(&puzzle, wl.bound);
-    let mut t =
-        TextTable::new(vec!["scheme", "donors", "max donations", "gini", "E"]);
+    let mut t = TextTable::new(vec!["scheme", "donors", "max donations", "gini", "E"]);
     for (name, scheme) in [
         ("nGP-S^0.9", Scheme::ngp_static(0.9)),
         ("GP-S^0.9", Scheme::gp_static(0.9)),

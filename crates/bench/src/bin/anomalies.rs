@@ -35,13 +35,8 @@ fn main() {
          (eta < 1: acceleration anomaly / superlinear speedup potential;\n\
           eta > 1: deceleration anomaly; exhaustive search pins eta = 1)\n"
     );
-    let mut t = TextTable::new(vec![
-        "instance",
-        "W serial->goal",
-        "W par->goal",
-        "eta",
-        "exhaustive eta",
-    ]);
+    let mut t =
+        TextTable::new(vec!["instance", "W serial->goal", "W par->goal", "eta", "exhaustive eta"]);
     let mut accel = 0;
     let mut decel = 0;
     for &seed in seeds {
@@ -77,6 +72,8 @@ fn main() {
     }
     println!("{t}");
     println!("{accel} acceleration / {decel} deceleration anomalies observed.");
-    println!("(Parallel first-solution search explores many branches at once; goals\n\
-              sitting off the serial DFS path are found early — classic Rao-Kumar.)");
+    println!(
+        "(Parallel first-solution search explores many branches at once; goals\n\
+              sitting off the serial DFS path are found early — classic Rao-Kumar.)"
+    );
 }

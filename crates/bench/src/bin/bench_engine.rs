@@ -1,0 +1,153 @@
+//! Engine-throughput harness: measures simulated nodes expanded per host
+//! second for the fused hot loop and the reference two-sweep executor, and
+//! writes the results to `BENCH_engine.json` (current directory).
+//!
+//! ```text
+//! cargo run --release -p uts-bench --bin bench_engine -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the tree and machine sizes for CI smoke runs. The JSON
+//! is hand-rolled (flat schema, no serializer dependency):
+//!
+//! ```json
+//! {
+//!   "bench": "engine_cycle",
+//!   "tree": {"seed": 2, "b_max": 8, "depth_limit": 7, "nodes": 123456},
+//!   "results": [
+//!     {"engine": "fused", "p": 8192, "seconds": 1.23,
+//!      "nodes_per_sec": 1.0e5, "n_expand": 42, "t_par_us": 99},
+//!     ...
+//!   ],
+//!   "speedup_vs_reference": {"8192": 2.7}
+//! }
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use uts_core::{run, run_reference, EngineConfig, Outcome, Scheme};
+use uts_machine::CostModel;
+use uts_synth::GeometricTree;
+use uts_tree::{serial_dfs, TreeProblem};
+
+struct Measurement {
+    engine: &'static str,
+    p: usize,
+    seconds: f64,
+    nodes_per_sec: f64,
+    n_expand: u64,
+    t_par_us: u64,
+}
+
+/// Run `f` repeatedly until ~`budget_s` seconds elapse, returning the mean
+/// seconds per run and the (schedule-invariant) outcome.
+fn measure<F: FnMut() -> Outcome>(mut f: F, budget_s: f64) -> (f64, Outcome) {
+    let first = f(); // warm-up (also warms allocator pools)
+    let mut runs = 0u32;
+    let start = Instant::now();
+    loop {
+        let out = f();
+        runs += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= budget_s {
+            debug_assert_eq!(out.report.n_expand, first.report.n_expand, "runs are deterministic");
+            return (elapsed / runs as f64, out);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_idx = args.iter().position(|a| a == "--out");
+    let out_path = out_idx
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --out requires a path");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    for (i, a) in args.iter().enumerate() {
+        let is_out_value = out_idx == Some(i.wrapping_sub(1));
+        if a != "--quick" && a != "--out" && !is_out_value {
+            eprintln!("error: unknown argument `{a}` (usage: bench_engine [--quick] [--out PATH])");
+            std::process::exit(2);
+        }
+    }
+
+    let (depth_limit, ps, budget_s): (u32, &[usize], f64) =
+        if quick { (5, &[256], 0.2) } else { (7, &[1024, 8192], 2.0) };
+    let tree = GeometricTree { seed: 2, b_max: 8, depth_limit };
+    let w = serial_dfs(&tree).expanded;
+    // Exercise the root so a broken workload fails loudly before timing.
+    let mut probe = Vec::new();
+    tree.expand(&tree.root(), &mut probe);
+    assert!(!probe.is_empty(), "bench tree must branch at the root");
+
+    eprintln!("tree: geometric seed=2 b_max=8 depth_limit={depth_limit} ({w} nodes)");
+
+    let mut results: Vec<Measurement> = Vec::new();
+    for &p in ps {
+        let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
+        for (engine, runner) in [
+            ("fused", run as fn(&GeometricTree, &EngineConfig) -> Outcome),
+            ("reference", run_reference as fn(&GeometricTree, &EngineConfig) -> Outcome),
+        ] {
+            let (seconds, out) = measure(|| runner(&tree, &cfg), budget_s);
+            assert_eq!(out.report.nodes_expanded, w, "anomaly-free contract");
+            let nodes_per_sec = w as f64 / seconds;
+            eprintln!("P={p:>5} {engine:<9} {seconds:>8.4} s/run  {nodes_per_sec:>12.0} nodes/s");
+            results.push(Measurement {
+                engine,
+                p,
+                seconds,
+                nodes_per_sec,
+                n_expand: out.report.n_expand,
+                t_par_us: out.report.t_par,
+            });
+        }
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"engine_cycle\",\n");
+    let _ = writeln!(
+        json,
+        "  \"tree\": {{\"seed\": 2, \"b_max\": 8, \"depth_limit\": {depth_limit}, \"nodes\": {w}}},"
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"engine\": \"{}\", \"p\": {}, \"seconds\": {:.6}, \"nodes_per_sec\": {:.1}, \"n_expand\": {}, \"t_par_us\": {}}}{comma}",
+            m.engine, m.p, m.seconds, m.nodes_per_sec, m.n_expand, m.t_par_us
+        );
+    }
+    json.push_str("  ],\n  \"speedup_vs_reference\": {");
+    let mut first = true;
+    for &p in ps {
+        let fused = results.iter().find(|m| m.p == p && m.engine == "fused");
+        let reference = results.iter().find(|m| m.p == p && m.engine == "reference");
+        if let (Some(f), Some(r)) = (fused, reference) {
+            if !first {
+                json.push_str(", ");
+            }
+            first = false;
+            let _ = write!(json, "\"{}\": {:.2}", p, f.nodes_per_sec / r.nodes_per_sec);
+            eprintln!(
+                "P={p:>5} fused/reference speedup: {:.2}x",
+                f.nodes_per_sec / r.nodes_per_sec
+            );
+        }
+    }
+    json.push_str("}\n}\n");
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -63,9 +63,8 @@ fn main() {
         }
     }
     println!("{t}");
-    let (min_a, max_a) = alphas
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &a| (lo.min(a), hi.max(a)));
+    let (min_a, max_a) =
+        alphas.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &a| (lo.min(a), hi.max(a)));
     println!(
         "implied alpha range: [{min_a:.3}, {max_a:.3}] — {}",
         if max_a / min_a.max(1e-9) < 3.0 {
@@ -84,10 +83,9 @@ fn main() {
     let mut worst: f64 = 0.0;
     for wl in &workloads {
         for &x in &[0.6, 0.8, 0.9] {
-            for (name, scheme, is_gp) in [
-                ("GP", Scheme::gp_static(x), true),
-                ("nGP", Scheme::ngp_static(x), false),
-            ] {
+            for (name, scheme, is_gp) in
+                [("GP", Scheme::gp_static(x), true), ("nGP", Scheme::ngp_static(x), false)]
+            {
                 let out = run_workload(wl, scheme, p, CostModel::cm2(), false);
                 let w = out.report.nodes_expanded as f64;
                 let log_w = w.ln() / log_base;

@@ -81,12 +81,7 @@ fn fig3(quick: bool) {
         // saturates at the node-expansion-cycle count, then falls; the peak
         // shifts right for larger W ("this saturation effect occurs for
         // higher values of x for larger problems", Sec. 4.2).
-        let peak = diffs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &d)| d)
-            .map(|(i, _)| xs[i])
-            .unwrap();
+        let peak = diffs.iter().enumerate().max_by_key(|(_, &d)| d).map(|(i, _)| xs[i]).unwrap();
         peak_positions.push(peak);
         let rises_to_peak = diffs
             .windows(2)
@@ -182,7 +177,8 @@ fn iso_figure(title: &str, schemes: &[SchemeEntry], quick: bool) {
         println!();
     }
     if chart.series_count() > 0 {
-        let stem = title.split(':').next().unwrap_or("iso").trim().to_lowercase().replace([' ', '.'], "");
+        let stem =
+            title.split(':').next().unwrap_or("iso").trim().to_lowercase().replace([' ', '.'], "");
         write_svg(&format!("results/{stem}.svg"), &chart);
     }
 }
@@ -246,13 +242,8 @@ fn fig8(quick: bool) {
             let out = run_workload(&wl, scheme, p, cost, true);
             let trace = &out.report.active_trace;
             let stride = (trace.len() / 60).max(1);
-            let series: Vec<String> = trace
-                .iter()
-                .step_by(stride)
-                .map(|a| a.to_string())
-                .collect();
-            let mean =
-                trace.iter().map(|&a| a as f64).sum::<f64>() / trace.len().max(1) as f64;
+            let series: Vec<String> = trace.iter().step_by(stride).map(|a| a.to_string()).collect();
+            let mean = trace.iter().map(|&a| a as f64).sum::<f64>() / trace.len().max(1) as f64;
             let min = trace.iter().copied().min().unwrap_or(0);
             println!(
                 "{name} ({label}): cycles={} Nlb={} transfers={} E={:.2} mean A={:.0} min A={min}",

@@ -81,7 +81,8 @@ fn iso(quick: bool) {
     let levels = if quick { vec![0.45, 0.60] } else { vec![0.55, 0.65, 0.75] };
 
     // SIMD series.
-    for (name, scheme) in [("SIMD GP-D^K", Scheme::gp_dk()), ("SIMD GP-S^0.9", Scheme::gp_static(0.9))]
+    for (name, scheme) in
+        [("SIMD GP-D^K", Scheme::gp_dk()), ("SIMD GP-S^0.9", Scheme::gp_static(0.9))]
     {
         let samples = sweep::sweep_scheme(scheme, &grid, &trees, cost);
         print_curves(name, &sweep::iso_curves(&samples, &levels));

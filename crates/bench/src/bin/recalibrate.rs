@@ -10,8 +10,12 @@ fn main() {
         let kind = if wl.instance.id == u32::MAX { "scramble" } else { "korf" };
         println!(
             "target={target} -> {kind} id={} tiles={:?} bound={} W={} err={:+.1}% ({:?})",
-            wl.instance.id, wl.instance.tiles, wl.bound, wl.w,
-            (wl.w as f64 / target as f64 - 1.0) * 100.0, t0.elapsed()
+            wl.instance.id,
+            wl.instance.tiles,
+            wl.bound,
+            wl.w,
+            (wl.w as f64 / target as f64 - 1.0) * 100.0,
+            t0.elapsed()
         );
     }
 }

@@ -13,11 +13,8 @@ use std::process::Command;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let exe_dir = std::env::current_exe()
-        .expect("current exe")
-        .parent()
-        .expect("exe dir")
-        .to_path_buf();
+    let exe_dir =
+        std::env::current_exe().expect("current exe").parent().expect("exe dir").to_path_buf();
     let mut failures = 0;
     for (bin, arg) in [
         ("tables", "table1"),

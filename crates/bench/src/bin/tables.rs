@@ -197,8 +197,7 @@ fn table4(workloads: &[PaperWorkload], p: usize) {
     let mut t = TextTable::new(header);
     let mut comparison = Vec::new();
     for (wi, wl) in workloads.iter().enumerate() {
-        let cells: Vec<Cell> =
-            schemes.iter().map(|(_, s)| measure(wl, *s, p, cost)).collect();
+        let cells: Vec<Cell> = schemes.iter().map(|(_, s)| measure(wl, *s, p, cost)).collect();
         let w_meas = if wl.w > 0 { wl.w } else { probe_w(wl, p) };
         t.row(
             std::iter::once(w_meas.to_string())
@@ -235,8 +234,7 @@ fn table4(workloads: &[PaperWorkload], p: usize) {
 }
 
 /// Paper Table 5: (Nexpand, Nlb, E) for DP / DK / S^xo at 1×, 12×, 16×.
-const PAPER_TABLE5_E: [[f64; 3]; 3] =
-    [[0.69, 0.71, 0.72], [0.26, 0.32, 0.34], [0.20, 0.28, 0.31]];
+const PAPER_TABLE5_E: [[f64; 3]; 3] = [[0.69, 0.71, 0.72], [0.26, 0.32, 0.34], [0.20, 0.28, 0.31]];
 
 /// Table 5: raising the balancing cost (GP matching, W ≈ 2.07M).
 fn table5(p: usize, quick: bool) {

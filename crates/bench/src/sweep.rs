@@ -78,10 +78,8 @@ pub fn iso_curves(samples: &[Sample], levels: &[f64]) -> Vec<IsoCurve> {
         .map(|&e| {
             let points = extract_contour(samples, e);
             let exponent = if points.len() >= 2 {
-                let pts: Vec<(f64, f64)> = points
-                    .iter()
-                    .map(|c| (c.p as f64 * (c.p as f64).log2(), c.w))
-                    .collect();
+                let pts: Vec<(f64, f64)> =
+                    points.iter().map(|c| (c.p as f64 * (c.p as f64).log2(), c.w)).collect();
                 Some(fit_power_law(&pts).b)
             } else {
                 None
@@ -104,8 +102,7 @@ mod tests {
         assert_eq!(samples.len(), grid.ps.len() * trees.len());
         // Efficiency rises with W at fixed P.
         for &p in &grid.ps {
-            let es: Vec<f64> =
-                samples.iter().filter(|s| s.p == p).map(|s| s.e).collect();
+            let es: Vec<f64> = samples.iter().filter(|s| s.p == p).map(|s| s.e).collect();
             assert!(es.windows(2).all(|w| w[1] >= w[0] - 0.02), "P={p}: {es:?}");
         }
     }

@@ -20,9 +20,8 @@ impl Flags {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let arg = arg.as_ref();
-            let key = arg
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
+            let key =
+                arg.strip_prefix("--").ok_or_else(|| format!("expected a --flag, got `{arg}`"))?;
             let value = it
                 .next()
                 .ok_or_else(|| format!("flag --{key} needs a value"))?
@@ -42,9 +41,7 @@ impl Flags {
     pub fn get_parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`"))
-            }
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse `{v}`")),
         }
     }
 }
@@ -105,10 +102,9 @@ impl WorkloadSpec {
     /// Materialize the instance.
     pub fn instance(self) -> Instance {
         match self {
-            WorkloadSpec::Korf(id) => *korf_instances()
-                .iter()
-                .find(|i| i.id == id)
-                .expect("validated by parse_workload"),
+            WorkloadSpec::Korf(id) => {
+                *korf_instances().iter().find(|i| i.id == id).expect("validated by parse_workload")
+            }
             WorkloadSpec::Scramble { seed, walk } => uts_puzzle15::scrambled(seed, walk),
         }
     }

@@ -50,9 +50,9 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
     // Bound: explicit flag, else the final IDA* bound.
     let bound = match flags.get("bound") {
         Some(b) => b.parse().map_err(|_| format!("--bound: bad value `{b}`"))?,
-        None => ida_star(&puzzle, 80)
-            .solution_cost
-            .ok_or("instance not solvable within bound 80")?,
+        None => {
+            ida_star(&puzzle, 80).solution_cost.ok_or("instance not solvable within bound 80")?
+        }
     };
     let bp = BoundedProblem::new(&puzzle, bound);
     let cfg = EngineConfig::new(p, scheme, cost);
@@ -104,7 +104,11 @@ pub fn queens(flags: &Flags) -> Result<(), String> {
     let serial = serial_dfs(&q);
     println!("{n}-queens: W = {}, solutions = {}", serial.expanded, serial.goals);
     let out = run(&q, &EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2()));
-    println!("SIMD GP-D^K (P={p}): E = {:.3}, speedup {:.1}", out.report.efficiency, out.report.speedup());
+    println!(
+        "SIMD GP-D^K (P={p}): E = {:.3}, speedup {:.1}",
+        out.report.efficiency,
+        out.report.speedup()
+    );
     let host = deque_dfs(&q, 4);
     println!("host pool (4 threads): {} steals, per-worker {:?}", host.steals, host.per_worker);
     assert_eq!(out.goals, serial.goals);
@@ -139,9 +143,6 @@ pub fn xo(flags: &Flags) -> Result<(), String> {
     let p = flags.get_parsed("p", 8192usize)?;
     let ratio = flags.get_parsed("ratio", CostModel::cm2().lb_ratio(p))?;
     let params = TriggerParams::new(w, p, ratio);
-    println!(
-        "x_o(W={w}, P={p}, t_lb/U_calc={ratio:.3}) = {:.4}",
-        optimal_static_trigger(&params)
-    );
+    println!("x_o(W={w}, P={p}, t_lb/U_calc={ratio:.3}) = {:.4}", optimal_static_trigger(&params));
     Ok(())
 }

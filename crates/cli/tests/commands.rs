@@ -28,8 +28,7 @@ fn run_rejects_bad_scheme() {
 
 #[test]
 fn mimd_small() {
-    commands::run_mimd_cmd(&flags(&["--seed", "7", "--walk", "18", "--p", "16"]))
-        .expect("mimd");
+    commands::run_mimd_cmd(&flags(&["--seed", "7", "--walk", "18", "--p", "16"])).expect("mimd");
 }
 
 #[test]

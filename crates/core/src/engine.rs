@@ -9,12 +9,20 @@
 //! split their work and share it with idle processors."
 //!
 //! The engine is cycle-quantized: one expansion cycle = every processor
-//! with a non-empty stack pops and expands exactly one node. Cycles are
-//! executed with rayon across the (independent) per-processor stacks, which
-//! changes wall-clock speed but not one bit of the simulated schedule.
+//! with a non-empty stack pops and expands exactly one node.
+//!
+//! **Hot path.** The loop below is the allocation-steady-state *fused*
+//! pipeline: expansion and census run as one pass over a dense sorted list
+//! of active processor indices; idle PEs are never visited (the idle set is
+//! exactly the list's complement, and rendezvous matching only ever needs
+//! its first `min(A, I)` members); work transfers and frame pushes recycle
+//! pooled vectors instead of allocating. The lockstep schedule it produces
+//! is bit-identical to the straightforward two-sweep loop kept in
+//! [`crate::reference`] (enforced by property tests). See DESIGN.md §6,
+//! "Engine hot path".
 
-use rayon::prelude::*;
 use uts_machine::{CostModel, Report, SimdMachine};
+use uts_scan::{MatchScratch, Pair};
 use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
 
 use crate::matcher::MatchState;
@@ -110,25 +118,6 @@ impl Outcome {
     }
 }
 
-/// Per-processor state: the DFS stack plus a reusable child buffer.
-struct Pe<N> {
-    stack: SearchStack<N>,
-    children: Vec<N>,
-}
-
-impl<N> Pe<N> {
-    fn new() -> Self {
-        Self { stack: SearchStack::new(), children: Vec::new() }
-    }
-}
-
-/// What one processor did in one expansion cycle.
-#[derive(Clone, Copy, Default)]
-struct CycleResult {
-    worked: bool,
-    goals: u64,
-}
-
 /// Run `problem` to exhaustion (or first goal) under `cfg`.
 pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
@@ -136,8 +125,11 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     machine.record_active_trace(cfg.record_trace);
     let mut matcher = MatchState::new(cfg.scheme.matching);
 
-    let mut pes: Vec<Pe<P::Node>> = (0..cfg.p).map(|_| Pe::new()).collect();
-    pes[0].stack = SearchStack::from_root(problem.root());
+    // Per-processor DFS stacks. All per-cycle scratch (child frames, pair
+    // lists, packed enumerations) lives in long-lived buffers below, so a
+    // warmed-up cycle performs no allocator traffic.
+    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
+    pes[0] = SearchStack::from_root(problem.root());
 
     let mut goals = 0u64;
     let mut truncated = false;
@@ -147,19 +139,58 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     // `init_fraction` of the PEs have work.
     let mut in_init = cfg.init_fraction.is_some();
 
-    // Reusable flag vectors for the matching scans.
+    // Dense list of PEs holding work, kept sorted by index. Expansion and
+    // census iterate this list only; a PE leaves it when its stack empties
+    // (during the fused pass) and re-enters when a transfer feeds it. Its
+    // complement is exactly the idle set, so no idle flags exist at all:
+    // the matching derives the idle enumeration it needs (a `min(A, I)`
+    // prefix — surplus idle PEs are never matched) by walking the gaps in
+    // this list.
+    let mut active: Vec<usize> = vec![0];
+    // Busy (= splittable) flags, maintained incrementally; they are only
+    // ever read through `active` (busy implies active).
     let mut busy_flags = vec![false; cfg.p];
-    let mut idle_flags = vec![false; cfg.p];
+
+    // Long-lived balancing buffers, reused across every round of every
+    // balancing phase of the run.
+    let mut scratch = MatchScratch::default();
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut incoming: Vec<usize> = Vec::new();
+    let mut merge_buf: Vec<usize> = Vec::new();
 
     loop {
-        // ---- one lockstep expansion cycle ----
-        let cycle: Vec<CycleResult> = if cfg.p >= 64 {
-            pes.par_iter_mut().map(|pe| step_pe(problem, pe)).collect()
-        } else {
-            pes.iter_mut().map(|pe| step_pe(problem, pe)).collect()
-        };
-        let worked = cycle.iter().filter(|c| c.worked).count();
-        goals += cycle.iter().map(|c| c.goals).sum::<u64>();
+        // ---- fused expansion + census (one pass over the active list) ----
+        // Every listed PE holds work, so each pops exactly one node; its
+        // post-push stack state doubles as this cycle's census entry, which
+        // removes the second O(P) sweep of the reference loop.
+        let worked = active.len();
+        let mut busy_count = 0usize;
+        let mut kept = 0usize;
+        for scan in 0..active.len() {
+            let i = active[scan];
+            let stack = &mut pes[i];
+            let node = stack.pop_next().expect("active PEs hold work");
+            if problem.is_goal(&node) {
+                goals += 1;
+            }
+            // Children are generated straight into a pooled frame vector —
+            // no bounce through a per-PE child buffer.
+            stack.push_frame_with(|frame| problem.expand(&node, frame));
+            let len = stack.len();
+            if len == 0 {
+                // Exhausted: leave the active list (rejoining the idle set
+                // implicitly). A PE that empties was not splittable, so its
+                // busy flag is already false.
+                debug_assert!(!busy_flags[i]);
+            } else {
+                busy_flags[i] = len >= 2;
+                busy_count += (len >= 2) as usize;
+                peak_stack_nodes = peak_stack_nodes.max(len);
+                active[kept] = i;
+                kept += 1;
+            }
+        }
+        active.truncate(kept);
         machine.expansion_cycle(worked);
 
         if cfg.stop_on_goal && goals > 0 {
@@ -169,24 +200,13 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
             truncated = true;
             break;
         }
-
-        // ---- census ----
-        let mut busy = 0usize;
-        let mut idle = 0usize;
-        let mut has_work = 0usize;
-        for (i, pe) in pes.iter().enumerate() {
-            let splittable = pe.stack.can_split();
-            let empty = pe.stack.is_empty();
-            busy_flags[i] = splittable;
-            idle_flags[i] = empty;
-            busy += splittable as usize;
-            idle += empty as usize;
-            has_work += (!empty) as usize;
-            peak_stack_nodes = peak_stack_nodes.max(pe.stack.len());
-        }
-        if has_work == 0 {
+        if active.is_empty() {
             break; // space exhausted
         }
+
+        let has_work = active.len();
+        let busy = busy_count;
+        let idle = cfg.p - has_work;
 
         // ---- trigger ----
         let fire = if in_init {
@@ -222,30 +242,80 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
         let mut transfers = 0u64;
         match cfg.scheme.transfers {
             TransferMode::Single => {
-                let pairs = matcher.match_round(&busy_flags, &idle_flags);
-                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
+                let need = scratch.packed_busy.len().min(cfg.p - active.len());
+                pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
+                matcher.match_round_packed(
+                    cfg.p,
+                    &scratch.packed_busy,
+                    &scratch.packed_idle,
+                    &mut pairs,
+                );
+                transfers += apply_pairs(
+                    &mut pes,
+                    &pairs,
+                    cfg.split,
+                    &mut donations,
+                    &mut busy_flags,
+                    &mut busy_count,
+                    &mut incoming,
+                );
+                merge_active(&mut active, &mut incoming, &mut merge_buf);
                 rounds = 1;
             }
             TransferMode::Multiple => {
                 // Repeat rendezvous rounds until no idle PE can be fed
-                // (required for D^P, Sec. 2.3).
+                // (required for D^P, Sec. 2.3). Flags and the active list
+                // are updated transfer-by-transfer, so no per-round refresh
+                // sweep is needed; the merge runs each round so the next
+                // round's enumerations see the PEs just fed.
+                let mut idle_left = idle;
                 loop {
-                    refresh_flags(&pes, &mut busy_flags, &mut idle_flags);
-                    if !busy_flags.iter().any(|&b| b) || !idle_flags.iter().any(|&i| i) {
+                    if busy_count == 0 || idle_left == 0 {
                         break;
                     }
-                    let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                    pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
+                    let need = scratch.packed_busy.len().min(idle_left);
+                    pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
+                    matcher.match_round_packed(
+                        cfg.p,
+                        &scratch.packed_busy,
+                        &scratch.packed_idle,
+                        &mut pairs,
+                    );
                     if pairs.is_empty() {
                         break;
                     }
-                    transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                    let done = apply_pairs(
+                        &mut pes,
+                        &pairs,
+                        cfg.split,
+                        &mut donations,
+                        &mut busy_flags,
+                        &mut busy_count,
+                        &mut incoming,
+                    );
+                    merge_active(&mut active, &mut incoming, &mut merge_buf);
+                    idle_left -= done as usize;
+                    transfers += done;
                     rounds += 1;
                 }
             }
             TransferMode::Equalize => {
                 // FEGS: move counted chunks until node counts are
                 // near-uniform (donors above average feed the poorest).
+                // Equalization touches arbitrary PEs, so rebuild the active
+                // list and flags wholesale afterwards (it is already O(P)
+                // per round; one extra sweep changes nothing asymptotic).
                 rounds = equalize(&mut pes, &mut transfers, &mut donations);
+                active.clear();
+                for (i, stack) in pes.iter().enumerate() {
+                    let len = stack.len();
+                    busy_flags[i] = len >= 2;
+                    if len > 0 {
+                        active.push(i);
+                    }
+                }
             }
         }
         if rounds > 0 {
@@ -265,55 +335,113 @@ fn machine_report(machine: SimdMachine) -> Report {
     machine.finish(w)
 }
 
-fn step_pe<P: TreeProblem>(problem: &P, pe: &mut Pe<P::Node>) -> CycleResult {
-    let Some(node) = pe.stack.pop_next() else {
-        return CycleResult::default();
-    };
-    let mut goals = 0;
-    if problem.is_goal(&node) {
-        goals = 1;
-    }
-    pe.children.clear();
-    problem.expand(&node, &mut pe.children);
-    pe.stack.push_frame(std::mem::take(&mut pe.children));
-    CycleResult { worked: true, goals }
+/// Pack the busy enumeration (ascending) from the dense active list: busy
+/// implies active, so this is O(A) where a flag sweep would be O(P).
+fn pack_busy(active: &[usize], busy_flags: &[bool], out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(active.iter().copied().filter(|&i| busy_flags[i]));
 }
 
-fn refresh_flags<N>(pes: &[Pe<N>], busy: &mut [bool], idle: &mut [bool]) {
-    for (i, pe) in pes.iter().enumerate() {
-        busy[i] = pe.stack.can_split();
-        idle[i] = pe.stack.is_empty();
+/// The first `need` idle PEs in ascending order — the gaps in the sorted
+/// active list. Only the matched prefix is ever materialized (idle PEs are
+/// fed in plain index order, Fig. 2), so the walk stops as soon as `need`
+/// gaps are found, typically long before index P.
+fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mut Vec<usize>) {
+    out.clear();
+    let mut next_active = 0usize;
+    let mut i = 0usize;
+    while out.len() < need && i < p {
+        if next_active < active.len() && active[next_active] == i {
+            next_active += 1;
+        } else {
+            out.push(i);
+        }
+        i += 1;
     }
 }
 
-fn apply_pairs<N: Clone>(
-    pes: &mut [Pe<N>],
-    pairs: &[uts_scan::Pair],
+/// Two disjoint mutable borrows out of one slice.
+fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    debug_assert_ne!(i, j);
+    if i < j {
+        let (lo, hi) = xs.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = xs.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+/// Apply one round of matched transfers, maintaining the incremental
+/// census: donor/receiver flags, the busy count, and the list of PEs that
+/// must (re)join the active list. Transfers run through
+/// [`SearchStack::split_into`], which recycles frame vectors on both sides
+/// instead of allocating a fresh stack per donation.
+fn apply_pairs<N>(
+    pes: &mut [SearchStack<N>],
+    pairs: &[Pair],
     split: SplitPolicy,
     donations: &mut [u32],
+    busy_flags: &mut [bool],
+    busy_count: &mut usize,
+    incoming: &mut Vec<usize>,
 ) -> u64 {
     let mut done = 0;
     for pair in pairs {
         debug_assert_ne!(pair.donor, pair.receiver);
-        // Split out of the donor, then install in the receiver. Donors and
-        // receivers are disjoint sets, so index juggling is safe.
-        let donated = pes[pair.donor].stack.split(split);
-        if let Some(stack) = donated {
-            debug_assert!(pes[pair.receiver].stack.is_empty());
-            pes[pair.receiver].stack = stack;
+        let (donor, receiver) = pair_mut(pes, pair.donor, pair.receiver);
+        debug_assert!(receiver.is_empty());
+        if donor.split_into(split, receiver) {
             donations[pair.donor] += 1;
             done += 1;
+            // Donor stays non-empty but may drop below the busy threshold.
+            let donor_busy = donor.can_split();
+            *busy_count -= (!donor_busy) as usize;
+            busy_flags[pair.donor] = donor_busy;
+            // Receiver now holds work (and may itself be splittable).
+            let receiver_busy = receiver.can_split();
+            *busy_count += receiver_busy as usize;
+            busy_flags[pair.receiver] = receiver_busy;
+            incoming.push(pair.receiver);
         }
     }
     done
 }
 
+/// Merge `incoming` (PEs just fed by transfers; disjoint from `active`)
+/// into the sorted active list, reusing `buf` as the merge target.
+fn merge_active(active: &mut Vec<usize>, incoming: &mut Vec<usize>, buf: &mut Vec<usize>) {
+    if incoming.is_empty() {
+        return;
+    }
+    // Receivers of a single round arrive ascending, but a multi-round phase
+    // can interleave rounds; sort the (small) batch before the linear merge.
+    incoming.sort_unstable();
+    buf.clear();
+    buf.reserve(active.len() + incoming.len());
+    let (mut a, mut b) = (0, 0);
+    while a < active.len() && b < incoming.len() {
+        if active[a] < incoming[b] {
+            buf.push(active[a]);
+            a += 1;
+        } else {
+            buf.push(incoming[b]);
+            b += 1;
+        }
+    }
+    buf.extend_from_slice(&active[a..]);
+    buf.extend_from_slice(&incoming[b..]);
+    std::mem::swap(active, buf);
+    incoming.clear();
+}
+
 /// FEGS equalization: repeatedly let every above-average PE ship its excess
 /// to the poorest PEs until counts are within 1 of uniform (or progress
-/// stops). Returns the number of transfer rounds.
-fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
+/// stops). Returns the number of transfer rounds. Donated chunks keep their
+/// frame structure ([`SearchStack::merge_from`]); see DESIGN.md.
+fn equalize<N>(pes: &mut [SearchStack<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
     let p = pes.len();
-    let total: usize = pes.iter().map(|pe| pe.stack.len()).sum();
+    let total: usize = pes.iter().map(SearchStack::len).sum();
     let target = total.div_ceil(p);
     let mut rounds = 0u32;
     // Bound the rounds: each round matches donors to receivers 1-1, so
@@ -323,27 +451,17 @@ fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u
         // Donors hold > target; receivers hold < target (poorest first ==
         // index order is fine; rendezvous semantics).
         let donors: Vec<usize> =
-            (0..p).filter(|&i| pes[i].stack.len() > target && pes[i].stack.can_split()).collect();
-        let receivers: Vec<usize> = (0..p).filter(|&i| pes[i].stack.len() < target).collect();
+            (0..p).filter(|&i| pes[i].len() > target && pes[i].can_split()).collect();
+        let receivers: Vec<usize> = (0..p).filter(|&i| pes[i].len() < target).collect();
         if donors.is_empty() || receivers.is_empty() {
             break;
         }
         let mut moved_any = false;
         for (&d, &r) in donors.iter().zip(&receivers) {
-            let excess = pes[d].stack.len() - target;
-            let want = target - pes[r].stack.len();
-            if let Some(chunk) = pes[d].stack.split_count(excess.min(want)) {
-                // Merge into the receiver (receiver may be non-empty when
-                // below target): append chunk frames bottom-up.
-                let mut stack = std::mem::take(&mut pes[r].stack);
-                if stack.is_empty() {
-                    stack = chunk;
-                } else {
-                    // Push the chunk's alternatives as a new frame batch.
-                    let nodes: Vec<N> = chunk.iter().cloned().collect();
-                    stack.push_frame(nodes);
-                }
-                pes[r].stack = stack;
+            let excess = pes[d].len() - target;
+            let want = target - pes[r].len();
+            if let Some(chunk) = pes[d].split_count(excess.min(want)) {
+                pes[r].merge_from(chunk);
                 donations[d] += 1;
                 *transfers += 1;
                 moved_any = true;
@@ -436,8 +554,7 @@ mod tests {
         let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
         for x in [0.7, 0.8, 0.9] {
             let gp = run(&tree, &EngineConfig::new(64, Scheme::gp_static(x), CostModel::cm2()));
-            let ngp =
-                run(&tree, &EngineConfig::new(64, Scheme::ngp_static(x), CostModel::cm2()));
+            let ngp = run(&tree, &EngineConfig::new(64, Scheme::ngp_static(x), CostModel::cm2()));
             assert!(
                 gp.report.n_lb <= ngp.report.n_lb,
                 "x={x}: GP {} vs nGP {}",
@@ -521,10 +638,7 @@ mod tests {
         let ngp = run(&tree, &EngineConfig::new(128, Scheme::ngp_static(0.9), CostModel::cm2()));
         let g_gp = uts_analysis::gini(&gp.donations);
         let g_ngp = uts_analysis::gini(&ngp.donations);
-        assert!(
-            g_gp < g_ngp,
-            "GP gini {g_gp:.3} must be below nGP gini {g_ngp:.3}"
-        );
+        assert!(g_gp < g_ngp, "GP gini {g_gp:.3} must be below nGP gini {g_ngp:.3}");
     }
 
     #[test]

@@ -42,9 +42,11 @@
 pub mod engine;
 pub mod matcher;
 pub mod nn;
+pub mod reference;
 pub mod scheme;
 pub mod trigger;
 
 pub use engine::{run, EngineConfig, Outcome};
 pub use matcher::MatchState;
+pub use reference::run_reference;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};

@@ -2,7 +2,10 @@
 //! without the paper's global pointer (Sec. 2.2 and Fig. 2).
 
 use serde::{Deserialize, Serialize};
-use uts_scan::{rendezvous_match, rendezvous_match_from, Pair};
+use uts_scan::{
+    rendezvous_match, rendezvous_match_from, rendezvous_match_from_into, rendezvous_match_packed,
+    MatchScratch, Pair,
+};
 
 use crate::scheme::Matching;
 
@@ -51,6 +54,56 @@ impl MatchState {
             }
         }
         pairs
+    }
+
+    /// [`MatchState::match_round`] into caller-owned buffers: `pairs` is
+    /// cleared and refilled, `scratch` keeps the packed enumerations warm
+    /// between rounds. Pointer updates and output are identical to the
+    /// allocating entry point; the engine hot loop calls this one so a
+    /// whole run's balancing phases share one set of buffers.
+    pub fn match_round_into(
+        &mut self,
+        busy: &[bool],
+        idle: &[bool],
+        scratch: &mut MatchScratch,
+        pairs: &mut Vec<Pair>,
+    ) {
+        let start = match self.matching {
+            Matching::Ngp => 0,
+            Matching::Gp => self.global_pointer.map_or(0, |gp| (gp + 1) % busy.len().max(1)),
+        };
+        rendezvous_match_from_into(busy, idle, start, scratch, pairs);
+        if self.matching == Matching::Gp {
+            if let Some(last) = pairs.last() {
+                self.global_pointer = Some(last.donor);
+            }
+        }
+    }
+
+    /// [`MatchState::match_round`] over *already packed* busy/idle
+    /// enumerations (ascending; `packed_idle` may be truncated to the first
+    /// `min(A, I)` idle PEs). `p` is the machine size, needed to wrap the
+    /// global pointer. The engine hot loop uses this entry point because it
+    /// maintains the enumerations incrementally — deriving them from flag
+    /// vectors every round would cost O(P) per round. Pointer updates and
+    /// output are identical to the flag-based entry points.
+    pub fn match_round_packed(
+        &mut self,
+        p: usize,
+        packed_busy: &[usize],
+        packed_idle: &[usize],
+        pairs: &mut Vec<Pair>,
+    ) {
+        let start = match self.matching {
+            Matching::Ngp => 0,
+            Matching::Gp => self.global_pointer.map_or(0, |gp| (gp + 1) % p.max(1)),
+        };
+        rendezvous_match_packed(packed_busy, packed_idle, start, pairs);
+        if self.matching == Matching::Gp {
+            if let Some(last) = pairs.last() {
+                self.global_pointer = Some(last.donor);
+            }
+        }
     }
 }
 
@@ -139,6 +192,50 @@ mod tests {
             }
         }
         assert_eq!(&counts[..6], &[12, 12, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn match_round_into_tracks_match_round_exactly() {
+        // Two independent GP states fed the same evolving busy patterns must
+        // produce identical pairs AND identical pointer trajectories whether
+        // they use the allocating or the buffered entry point.
+        let patterns: [&[bool]; 4] =
+            [&[B, B, B, I, I, B], &[I, B, B, B, I, I], &[B, I, B, I, B, I], &[B, B, I, I, I, B]];
+        for matching in [Matching::Gp, Matching::Ngp] {
+            let mut alloc = MatchState::new(matching);
+            let mut buffered = MatchState::new(matching);
+            let mut scratch = uts_scan::MatchScratch::default();
+            let mut pairs = Vec::new();
+            for busy in patterns {
+                let idle = idle_of(busy);
+                let expect = alloc.match_round(busy, &idle);
+                buffered.match_round_into(busy, &idle, &mut scratch, &mut pairs);
+                assert_eq!(pairs, expect, "{matching:?}");
+                assert_eq!(buffered.global_pointer(), alloc.global_pointer(), "{matching:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn match_round_packed_tracks_match_round_exactly() {
+        let patterns: [&[bool]; 4] =
+            [&[B, B, B, I, I, B], &[I, B, B, B, I, I], &[B, I, B, I, B, I], &[B, B, I, I, I, B]];
+        for matching in [Matching::Gp, Matching::Ngp] {
+            let mut alloc = MatchState::new(matching);
+            let mut packed = MatchState::new(matching);
+            let mut pairs = Vec::new();
+            for busy in patterns {
+                let idle = idle_of(busy);
+                let packed_busy: Vec<usize> =
+                    busy.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+                let packed_idle: Vec<usize> =
+                    idle.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+                let expect = alloc.match_round(busy, &idle);
+                packed.match_round_packed(busy.len(), &packed_busy, &packed_idle, &mut pairs);
+                assert_eq!(pairs, expect, "{matching:?}");
+                assert_eq!(packed.global_pointer(), alloc.global_pointer(), "{matching:?}");
+            }
+        }
     }
 
     #[test]

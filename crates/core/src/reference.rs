@@ -1,0 +1,240 @@
+//! The pre-optimization engine loop, kept verbatim as an executable oracle.
+//!
+//! [`run_reference`] is the straightforward transcription of Sec. 2: every
+//! cycle it sweeps **all** `P` processor slots (idle ones included),
+//! collects per-PE results into a fresh vector, then runs a second O(P)
+//! census sweep to count busy/idle processors and rebuild the matching
+//! flags. It is deliberately unoptimized — the fused engine in
+//! [`crate::engine`] must produce a **bit-identical schedule** (same
+//! `Report`, same donations, same traces) while doing strictly less work
+//! per cycle; the property tests in `tests/engine_equivalence.rs` and the
+//! `engine_cycle` benchmark hold it to that.
+//!
+//! The only deviation from the seed loop is shared with the fused engine:
+//! FEGS equalization merges donated chunks with
+//! [`uts_tree::SearchStack::merge_from`], preserving the donation's frame
+//! structure instead of flattening it into one frame (the old behaviour
+//! lost the level boundaries that split policies and `depth()` rely on).
+
+use rayon::prelude::*;
+use uts_machine::SimdMachine;
+use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
+
+use crate::engine::{EngineConfig, Outcome};
+use crate::matcher::MatchState;
+use crate::scheme::TransferMode;
+use crate::trigger::{should_balance, TriggerCtx};
+
+/// Per-processor state: the DFS stack plus a per-cycle child buffer.
+struct Pe<N> {
+    stack: SearchStack<N>,
+    children: Vec<N>,
+}
+
+impl<N> Pe<N> {
+    fn new() -> Self {
+        Self { stack: SearchStack::new(), children: Vec::new() }
+    }
+}
+
+/// What one processor did in one expansion cycle.
+#[derive(Clone, Copy, Default)]
+struct CycleResult {
+    worked: bool,
+    goals: u64,
+}
+
+/// Run `problem` under `cfg` with the reference (two-sweep, allocating)
+/// loop. Produces the same [`Outcome`] as [`crate::engine::run`].
+pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    assert!(cfg.p > 0, "need at least one processor");
+    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+    machine.record_active_trace(cfg.record_trace);
+    let mut matcher = MatchState::new(cfg.scheme.matching);
+
+    let mut pes: Vec<Pe<P::Node>> = (0..cfg.p).map(|_| Pe::new()).collect();
+    pes[0].stack = SearchStack::from_root(problem.root());
+
+    let mut goals = 0u64;
+    let mut truncated = false;
+    let mut donations = vec![0u32; cfg.p];
+    let mut peak_stack_nodes = 1usize;
+    let mut in_init = cfg.init_fraction.is_some();
+
+    let mut busy_flags = vec![false; cfg.p];
+    let mut idle_flags = vec![false; cfg.p];
+
+    loop {
+        // ---- one lockstep expansion cycle (all P slots, idle included) ----
+        let cycle: Vec<CycleResult> = if cfg.p >= 64 {
+            pes.par_iter_mut().map(|pe| step_pe(problem, pe)).collect()
+        } else {
+            pes.iter_mut().map(|pe| step_pe(problem, pe)).collect()
+        };
+        let worked = cycle.iter().filter(|c| c.worked).count();
+        goals += cycle.iter().map(|c| c.goals).sum::<u64>();
+        machine.expansion_cycle(worked);
+
+        // ---- census (second full O(P) sweep) ----
+        // Runs before the early-exit checks so `peak_stack_nodes` covers the
+        // final cycle too, matching the fused engine (which computes the
+        // census inside the expansion pass). Census touches no machine
+        // state, so the schedule is unaffected.
+        let mut busy = 0usize;
+        let mut idle = 0usize;
+        let mut has_work = 0usize;
+        for (i, pe) in pes.iter().enumerate() {
+            let splittable = pe.stack.can_split();
+            let empty = pe.stack.is_empty();
+            busy_flags[i] = splittable;
+            idle_flags[i] = empty;
+            busy += splittable as usize;
+            idle += empty as usize;
+            has_work += (!empty) as usize;
+            peak_stack_nodes = peak_stack_nodes.max(pe.stack.len());
+        }
+
+        if cfg.stop_on_goal && goals > 0 {
+            break;
+        }
+        if cfg.max_cycles.is_some_and(|m| machine.metrics().n_expand >= m) {
+            truncated = true;
+            break;
+        }
+        if has_work == 0 {
+            break; // space exhausted
+        }
+
+        // ---- trigger ----
+        let fire = if in_init {
+            let threshold = cfg.init_fraction.unwrap();
+            if (has_work as f64) >= threshold * cfg.p as f64 {
+                in_init = false;
+                false
+            } else {
+                true
+            }
+        } else {
+            let ctx = TriggerCtx {
+                p: cfg.p,
+                busy,
+                idle,
+                phase: *machine.phase(),
+                u_calc: cfg.cost.u_calc,
+                l_estimate: machine.estimated_lb_cost(),
+            };
+            should_balance(cfg.scheme.trigger, &ctx)
+        };
+        if !fire || busy == 0 || idle == 0 {
+            continue;
+        }
+
+        // ---- load-balancing phase ----
+        let mut rounds = 0u32;
+        let mut transfers = 0u64;
+        match cfg.scheme.transfers {
+            TransferMode::Single => {
+                let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                rounds = 1;
+            }
+            TransferMode::Multiple => loop {
+                refresh_flags(&pes, &mut busy_flags, &mut idle_flags);
+                if !busy_flags.iter().any(|&b| b) || !idle_flags.iter().any(|&i| i) {
+                    break;
+                }
+                let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                if pairs.is_empty() {
+                    break;
+                }
+                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                rounds += 1;
+            },
+            TransferMode::Equalize => {
+                rounds = equalize(&mut pes, &mut transfers, &mut donations);
+            }
+        }
+        if rounds > 0 {
+            machine.lb_phase(rounds, transfers);
+        }
+    }
+
+    let w = machine.metrics().nodes_expanded;
+    let report = machine.finish(w);
+    Outcome { report, goals, truncated, donations, peak_stack_nodes }
+}
+
+fn step_pe<P: TreeProblem>(problem: &P, pe: &mut Pe<P::Node>) -> CycleResult {
+    let Some(node) = pe.stack.pop_next() else {
+        return CycleResult::default();
+    };
+    let mut goals = 0;
+    if problem.is_goal(&node) {
+        goals = 1;
+    }
+    pe.children.clear();
+    problem.expand(&node, &mut pe.children);
+    pe.stack.push_frame(std::mem::take(&mut pe.children));
+    CycleResult { worked: true, goals }
+}
+
+fn refresh_flags<N>(pes: &[Pe<N>], busy: &mut [bool], idle: &mut [bool]) {
+    for (i, pe) in pes.iter().enumerate() {
+        busy[i] = pe.stack.can_split();
+        idle[i] = pe.stack.is_empty();
+    }
+}
+
+fn apply_pairs<N: Clone>(
+    pes: &mut [Pe<N>],
+    pairs: &[uts_scan::Pair],
+    split: SplitPolicy,
+    donations: &mut [u32],
+) -> u64 {
+    let mut done = 0;
+    for pair in pairs {
+        debug_assert_ne!(pair.donor, pair.receiver);
+        let donated = pes[pair.donor].stack.split(split);
+        if let Some(stack) = donated {
+            debug_assert!(pes[pair.receiver].stack.is_empty());
+            pes[pair.receiver].stack = stack;
+            donations[pair.donor] += 1;
+            done += 1;
+        }
+    }
+    done
+}
+
+/// FEGS equalization, frame-preserving (see the module docs for why this
+/// differs from the seed loop).
+fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
+    let p = pes.len();
+    let total: usize = pes.iter().map(|pe| pe.stack.len()).sum();
+    let target = total.div_ceil(p);
+    let mut rounds = 0u32;
+    let cap = 2 * (usize::BITS - p.leading_zeros()) + 4;
+    while rounds < cap {
+        let donors: Vec<usize> =
+            (0..p).filter(|&i| pes[i].stack.len() > target && pes[i].stack.can_split()).collect();
+        let receivers: Vec<usize> = (0..p).filter(|&i| pes[i].stack.len() < target).collect();
+        if donors.is_empty() || receivers.is_empty() {
+            break;
+        }
+        let mut moved_any = false;
+        for (&d, &r) in donors.iter().zip(&receivers) {
+            let excess = pes[d].stack.len() - target;
+            let want = target - pes[r].stack.len();
+            if let Some(chunk) = pes[d].stack.split_count(excess.min(want)) {
+                pes[r].stack.merge_from(chunk);
+                donations[d] += 1;
+                *transfers += 1;
+                moved_any = true;
+            }
+        }
+        rounds += 1;
+        if !moved_any {
+            break;
+        }
+    }
+    rounds
+}

@@ -65,12 +65,20 @@ pub struct Scheme {
 impl Scheme {
     /// `nGP-S^x` — prior work (Powley et al.; Mahanti & Daniels).
     pub fn ngp_static(x: f64) -> Self {
-        Self { matching: Matching::Ngp, trigger: Trigger::Static { x }, transfers: TransferMode::Single }
+        Self {
+            matching: Matching::Ngp,
+            trigger: Trigger::Static { x },
+            transfers: TransferMode::Single,
+        }
     }
 
     /// `GP-S^x` — new scheme.
     pub fn gp_static(x: f64) -> Self {
-        Self { matching: Matching::Gp, trigger: Trigger::Static { x }, transfers: TransferMode::Single }
+        Self {
+            matching: Matching::Gp,
+            trigger: Trigger::Static { x },
+            transfers: TransferMode::Single,
+        }
     }
 
     /// `nGP-D^P` (multiple transfers, as the paper requires for `D^P`).
@@ -102,7 +110,11 @@ impl Scheme {
     /// FEGS (Mahanti & Daniels): balance on first idle, equalize node
     /// counts, nGP matching.
     pub fn fegs() -> Self {
-        Self { matching: Matching::Ngp, trigger: Trigger::AnyIdle, transfers: TransferMode::Equalize }
+        Self {
+            matching: Matching::Ngp,
+            trigger: Trigger::AnyIdle,
+            transfers: TransferMode::Equalize,
+        }
     }
 
     /// The six schemes of the paper's Table 1, with a generic static

@@ -85,8 +85,7 @@ mod tests {
         // Paper Sec. 6.1 observation 1: with A=1 from the start, w = t, so
         // w >= 1·(t+L) never holds while L > 0.
         for cycles in [1u64, 10, 1000, 100_000] {
-            let phase =
-                PhaseStats { cycles, busy_pe_cycles: cycles, idle_pe_cycles: cycles * 3 };
+            let phase = PhaseStats { cycles, busy_pe_cycles: cycles, idle_pe_cycles: cycles * 3 };
             assert!(!should_balance(Trigger::Dp, &ctx(4, 1, 3, phase, 13)));
         }
     }

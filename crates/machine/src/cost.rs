@@ -151,7 +151,7 @@ mod tests {
         let c = CostModel::hypercube();
         let c64 = c.lb_phase_cost(64, 1); // d = 6
         let c4096 = c.lb_phase_cost(4096, 1); // d = 12
-        // setup*d + transfer*d^2 with unit costs: 6+36=42 vs 12+144=156.
+                                              // setup*d + transfer*d^2 with unit costs: 6+36=42 vs 12+144=156.
         assert_eq!(c64, 42_000 / 1000 * 1000);
         assert_eq!(c4096, 156_000 / 1000 * 1000);
     }

@@ -315,8 +315,7 @@ mod tests {
         m.expansion_cycle(4);
         m.lb_phase(1, 2);
         let r = m.finish(4);
-        let expect =
-            r.t_calc as f64 / (r.t_calc + 4 * CostModel::cm2().lb_phase_cost(4, 1)) as f64;
+        let expect = r.t_calc as f64 / (r.t_calc + 4 * CostModel::cm2().lb_phase_cost(4, 1)) as f64;
         assert!((r.efficiency - expect).abs() < 1e-12);
         assert!(r.accounting_identity_holds());
     }

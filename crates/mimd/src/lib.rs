@@ -75,7 +75,15 @@ pub struct MimdConfig {
 impl MimdConfig {
     /// Defaults: latency 1 cycle, bottom split, seed 0.
     pub fn new(p: usize, policy: StealPolicy, cost: CostModel) -> Self {
-        Self { p, policy, cost, latency_cycles: 1, split: SplitPolicy::Bottom, seed: 0, max_cycles: None }
+        Self {
+            p,
+            policy,
+            cost,
+            latency_cycles: 1,
+            split: SplitPolicy::Bottom,
+            seed: 0,
+            max_cycles: None,
+        }
     }
 }
 
@@ -109,7 +117,10 @@ enum PeState {
     Working,
     /// Waiting for a poll round trip to complete at `ready_cycle`,
     /// targeting `target`.
-    Polling { target: usize, ready_cycle: u64 },
+    Polling {
+        target: usize,
+        ready_cycle: u64,
+    },
 }
 
 /// Run `problem` under asynchronous work stealing.
@@ -174,8 +185,10 @@ pub fn run_mimd<P: TreeProblem>(problem: &P, cfg: &MimdConfig) -> MimdReport {
                         &mut rng,
                     );
                     requests += 1;
-                    states[i] =
-                        PeState::Polling { target, ready_cycle: cycles + cfg.latency_cycles as u64 };
+                    states[i] = PeState::Polling {
+                        target,
+                        ready_cycle: cycles + cfg.latency_cycles as u64,
+                    };
                 }
                 PeState::Polling { target, ready_cycle } => {
                     if cycles >= ready_cycle {
@@ -211,8 +224,7 @@ pub fn run_mimd<P: TreeProblem>(problem: &P, cfg: &MimdConfig) -> MimdReport {
 
     let t_par = cycles * cfg.cost.u_calc;
     let t_calc = nodes as f64 * cfg.cost.u_calc as f64;
-    let efficiency =
-        if cycles == 0 { 1.0 } else { t_calc / (p as f64 * t_par as f64) };
+    let efficiency = if cycles == 0 { 1.0 } else { t_calc / (p as f64 * t_par as f64) };
     MimdReport {
         p,
         nodes_expanded: nodes,
@@ -310,7 +322,8 @@ mod tests {
     fn single_processor_is_serial_time() {
         let tree = geo(4);
         let w = serial_dfs(&tree).expanded;
-        let out = run_mimd(&tree, &MimdConfig::new(1, StealPolicy::RandomPolling, CostModel::cm2()));
+        let out =
+            run_mimd(&tree, &MimdConfig::new(1, StealPolicy::RandomPolling, CostModel::cm2()));
         assert_eq!(out.cycles, w);
         assert!((out.efficiency - 1.0).abs() < 1e-12);
         assert_eq!(out.requests, 0);

@@ -133,11 +133,6 @@ mod tests {
             }
             worst.push(max_steps);
         }
-        assert!(
-            worst[1] <= worst[0] * 4,
-            "dimension 5→10 steps {} → {}",
-            worst[0],
-            worst[1]
-        );
+        assert!(worst[1] <= worst[0] * 4, "dimension 5→10 steps {} → {}", worst[0], worst[1]);
     }
 }

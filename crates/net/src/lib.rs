@@ -77,9 +77,8 @@ pub fn route<R: Router>(router: &R, messages: &[Message]) -> RouteStats {
         let mut still = Vec::with_capacity(in_flight.len());
         for &i in &in_flight {
             let dst = messages[i].dst;
-            let next = router
-                .next_hop(pos[i], dst)
-                .expect("in-flight message must have a next hop");
+            let next =
+                router.next_hop(pos[i], dst).expect("in-flight message must have a next hop");
             if claimed.insert((pos[i], next)) {
                 pos[i] = next;
             } else {

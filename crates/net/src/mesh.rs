@@ -79,7 +79,7 @@ mod tests {
     #[test]
     fn xy_routing_goes_column_first() {
         let m = Mesh::new(16); // 4x4
-        // From (0,0) to (2,3): move right first.
+                               // From (0,0) to (2,3): move right first.
         assert_eq!(m.next_hop(0, 11), Some(1));
         // Column aligned: move down.
         assert_eq!(m.next_hop(3, 11), Some(7));
@@ -134,10 +134,8 @@ mod tests {
                 let busy: Vec<bool> = (0..p).map(|_| rng.random_bool(0.5)).collect();
                 let idle: Vec<bool> = busy.iter().map(|&b| !b).collect();
                 let pairs = rendezvous_match_from(&busy, &idle, 0);
-                let messages: Vec<Message> = pairs
-                    .iter()
-                    .map(|pr| Message { src: pr.donor, dst: pr.receiver })
-                    .collect();
+                let messages: Vec<Message> =
+                    pairs.iter().map(|pr| Message { src: pr.donor, dst: pr.receiver }).collect();
                 total += route(&Mesh::new(p), &messages).steps;
             }
             total as f64 / 5.0

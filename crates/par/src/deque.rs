@@ -51,9 +51,8 @@ pub fn deque_dfs<P: TreeProblem>(problem: &P, threads: usize) -> DequeStats {
                 let injector = &injector;
                 let outstanding = &outstanding;
                 let stealers = &stealers;
-                scope.spawn(move || {
-                    worker_loop(problem, local, me, injector, stealers, outstanding)
-                })
+                scope
+                    .spawn(move || worker_loop(problem, local, me, injector, stealers, outstanding))
             })
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker must not panic")).collect()
@@ -128,11 +127,7 @@ fn worker_loop<P: TreeProblem>(
     }
 }
 
-fn steal_somewhere<N>(
-    injector: &Injector<N>,
-    stealers: &[Stealer<N>],
-    me: usize,
-) -> Option<N> {
+fn steal_somewhere<N>(injector: &Injector<N>, stealers: &[Stealer<N>], me: usize) -> Option<N> {
     loop {
         match injector.steal() {
             Steal::Success(n) => return Some(n),

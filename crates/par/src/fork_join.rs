@@ -29,12 +29,7 @@ pub fn rayon_dfs<P: TreeProblem>(problem: &P, par_depth: usize) -> ParStats {
     descend(problem, problem.root(), 0, par_depth)
 }
 
-fn descend<P: TreeProblem>(
-    problem: &P,
-    node: P::Node,
-    depth: usize,
-    par_depth: usize,
-) -> ParStats {
+fn descend<P: TreeProblem>(problem: &P, node: P::Node, depth: usize, par_depth: usize) -> ParStats {
     let mut here = ParStats { expanded: 1, goals: problem.is_goal(&node) as u64 };
     let mut children = Vec::new();
     problem.expand(&node, &mut children);

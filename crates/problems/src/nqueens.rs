@@ -45,8 +45,7 @@ impl NQueens {
 
     /// The classical solution counts Q(1)..Q(12) (OEIS A000170), used by
     /// tests and handy for callers validating a run.
-    pub const KNOWN_COUNTS: [u64; 12] =
-        [1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200];
+    pub const KNOWN_COUNTS: [u64; 12] = [1, 0, 0, 2, 10, 4, 40, 92, 352, 724, 2680, 14200];
 }
 
 impl TreeProblem for NQueens {

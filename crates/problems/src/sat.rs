@@ -49,9 +49,9 @@ impl Cnf {
     /// Evaluate under a complete assignment (for tests / verification).
     pub fn satisfied_by(&self, assignment: &[bool]) -> bool {
         assert_eq!(assignment.len(), self.num_vars as usize);
-        self.clauses.iter().all(|clause| {
-            clause.iter().any(|l| assignment[l.var() as usize] != l.negated())
-        })
+        self.clauses
+            .iter()
+            .all(|clause| clause.iter().any(|l| assignment[l.var() as usize] != l.negated()))
     }
 }
 

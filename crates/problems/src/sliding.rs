@@ -122,11 +122,8 @@ impl HeuristicProblem for Sliding {
     type State = SlidingState;
 
     fn initial(&self) -> SlidingState {
-        let blank = self
-            .start
-            .iter()
-            .position(|&t| t == 0)
-            .expect("permutation contains the blank") as u16;
+        let blank =
+            self.start.iter().position(|&t| t == 0).expect("permutation contains the blank") as u16;
         SlidingState {
             tiles: self.start.clone(),
             blank,
@@ -150,12 +147,8 @@ impl HeuristicProblem for Sliding {
             let mut tiles = s.tiles.clone();
             tiles[s.blank as usize] = tile;
             tiles[target as usize] = 0;
-            let h = s.h - self.manhattan_tile(tile, target)
-                + self.manhattan_tile(tile, s.blank);
-            out.push((
-                SlidingState { tiles, blank: target, h, came_from: s.blank },
-                1,
-            ));
+            let h = s.h - self.manhattan_tile(tile, target) + self.manhattan_tile(tile, s.blank);
+            out.push((SlidingState { tiles, blank: target, h, came_from: s.blank }, 1));
         }
     }
 

@@ -40,11 +40,7 @@ impl Workload {
 /// otherwise `Some((expanded, next_bound))` where `next_bound` is the
 /// minimum pruned `f` (the next IDA\* bound), `None` when nothing was
 /// pruned.
-pub fn bounded_count_capped(
-    puzzle: &Puzzle15,
-    bound: u32,
-    cap: u64,
-) -> Option<(u64, Option<u32>)> {
+pub fn bounded_count_capped(puzzle: &Puzzle15, bound: u32, cap: u64) -> Option<(u64, Option<u32>)> {
     let bp = BoundedProblem::new(puzzle, bound);
     let mut stack = SearchStack::from_root(bp.root());
     let mut expanded = 0u64;

@@ -7,9 +7,9 @@
 use serde::{Deserialize, Serialize};
 use uts_tree::HeuristicProblem;
 
-use crate::board::{manhattan_tile, Board, Move};
 #[cfg(test)]
 use crate::board::GOAL;
+use crate::board::{manhattan_tile, Board, Move};
 
 /// A search state: board, cached blank cell, cached heuristic, and the move
 /// that produced it (for inverse pruning).

@@ -23,8 +23,8 @@
 pub mod op;
 pub mod par;
 pub mod permute;
-pub mod seq;
 pub mod segmented;
+pub mod seq;
 
 pub use op::{MaxOp, MinOp, OrOp, ScanOp, SumOp};
 pub use permute::{gather, pack, scatter, unpack};
@@ -104,15 +104,34 @@ pub fn enumerate_marked(flags: &[bool]) -> Vec<usize> {
 /// assert_eq!(uts_scan::pack_indices(&[false, true, true, false, true]), vec![1, 2, 4]);
 /// ```
 pub fn pack_indices(flags: &[bool]) -> Vec<usize> {
-    let ranks = enumerate_marked(flags);
-    let total = ranks.last().map_or(0, |&r| r) + usize::from(*flags.last().unwrap_or(&false));
-    let mut out = vec![0usize; total];
-    for (i, &f) in flags.iter().enumerate() {
-        if f {
-            out[ranks[i]] = i;
+    let mut out = Vec::new();
+    pack_indices_into(flags, &mut out);
+    out
+}
+
+/// [`pack_indices`] into a caller-owned buffer (cleared first), so repeated
+/// matching rounds reuse one allocation. Above [`PAR_THRESHOLD`] the packing
+/// runs as an enumerate-and-scatter over the rank scan — the machine's
+/// actual algorithm, executed on the host's parallel scan path; below it, a
+/// single sequential sweep (identical output).
+pub fn pack_indices_into(flags: &[bool], out: &mut Vec<usize>) {
+    out.clear();
+    if flags.len() < PAR_THRESHOLD {
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                out.push(i);
+            }
+        }
+    } else {
+        let ranks = enumerate_marked(flags);
+        let total = ranks.last().map_or(0, |&r| r) + usize::from(*flags.last().unwrap_or(&false));
+        out.resize(total, 0);
+        for (i, &f) in flags.iter().enumerate() {
+            if f {
+                out[ranks[i]] = i;
+            }
         }
     }
-    out
 }
 
 /// One busy→idle pairing produced by the rendezvous allocation.
@@ -145,26 +164,76 @@ pub fn rendezvous_match(busy: &[bool], idle: &[bool]) -> Vec<Pair> {
 /// Returns `min(A, I)` pairs; if `I > A` the surplus idle processors receive
 /// no work, exactly as in the paper.
 pub fn rendezvous_match_from(busy: &[bool], idle: &[bool], start: usize) -> Vec<Pair> {
+    let mut scratch = MatchScratch::default();
+    let mut pairs = Vec::new();
+    rendezvous_match_from_into(busy, idle, start, &mut scratch, &mut pairs);
+    pairs
+}
+
+/// Reusable packed-index buffers for the rendezvous matching, so that a
+/// long run's many balancing rounds share one set of allocations.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    /// Packed indices of busy processors (ascending).
+    pub packed_busy: Vec<usize>,
+    /// Packed indices of idle processors (ascending).
+    pub packed_idle: Vec<usize>,
+}
+
+/// [`rendezvous_match_from`] into caller-owned buffers: `pairs` is cleared
+/// and refilled; `scratch` holds the packed busy/idle enumerations between
+/// calls. Output is identical to the allocating entry point.
+pub fn rendezvous_match_from_into(
+    busy: &[bool],
+    idle: &[bool],
+    start: usize,
+    scratch: &mut MatchScratch,
+    pairs: &mut Vec<Pair>,
+) {
     assert_eq!(busy.len(), idle.len(), "busy/idle flag vectors must cover the same PEs");
+    pairs.clear();
     let p = busy.len();
     if p == 0 {
-        return Vec::new();
+        return;
     }
     let start = start % p;
     // Busy processors in circular order from `start`. On the machine this is
     // two segmented enumerations (indices >= start, then indices < start)
     // glued together; functionally it is a rotation of the packed index list.
-    let packed_busy = pack_indices(busy);
+    pack_indices_into(busy, &mut scratch.packed_busy);
+    pack_indices_into(idle, &mut scratch.packed_idle);
+    rendezvous_match_packed(&scratch.packed_busy, &scratch.packed_idle, start, pairs);
+}
+
+/// [`rendezvous_match_from`] over *already packed* busy/idle enumerations
+/// (both ascending), the form the engine hot loop maintains incrementally:
+/// it derives `packed_busy` from its dense active-PE list and `packed_idle`
+/// from that list's complement, so no O(P) flag sweep ever runs.
+///
+/// Because idle processors are matched in plain index order (Fig. 2),
+/// `packed_idle` may be just the *prefix* of the idle enumeration with
+/// `min(A, I)` entries — the surplus is never inspected. Output is
+/// identical to the flag-based entry points given consistent inputs.
+pub fn rendezvous_match_packed(
+    packed_busy: &[usize],
+    packed_idle: &[usize],
+    start: usize,
+    pairs: &mut Vec<Pair>,
+) {
+    pairs.clear();
     let a = packed_busy.len();
-    let rotation = packed_busy.partition_point(|&i| i < start);
-    let packed_idle = pack_indices(idle);
     let n = a.min(packed_idle.len());
-    let mut pairs = Vec::with_capacity(n);
+    if n == 0 {
+        return;
+    }
+    // Busy processors in circular order from `start` (a rotation of the
+    // ascending enumeration); idle processors in plain ascending order.
+    let rotation = packed_busy.partition_point(|&i| i < start);
+    pairs.reserve(n);
     for k in 0..n {
         let donor = packed_busy[(rotation + k) % a];
         pairs.push(Pair { donor, receiver: packed_idle[k] });
     }
-    pairs
 }
 
 #[cfg(test)]
@@ -215,10 +284,7 @@ mod tests {
         let idle = busy.map(|b| !b);
         let pairs = rendezvous_match(&busy, &idle);
         // nGP matches idle 6,7 (0-based 5,6) to busy 1,2 (0-based 0,1).
-        assert_eq!(
-            pairs,
-            vec![Pair { donor: 0, receiver: 5 }, Pair { donor: 1, receiver: 6 }]
-        );
+        assert_eq!(pairs, vec![Pair { donor: 0, receiver: 5 }, Pair { donor: 1, receiver: 6 }]);
     }
 
     #[test]
@@ -229,10 +295,7 @@ mod tests {
         // 0-based index 5; first busy PE from there is 7 (paper's PE 8).
         let pairs = rendezvous_match_from(&busy, &idle, 5);
         // GP matches idle 6,7 (0-based 5,6) to busy 8,1 (0-based 7,0).
-        assert_eq!(
-            pairs,
-            vec![Pair { donor: 7, receiver: 5 }, Pair { donor: 0, receiver: 6 }]
-        );
+        assert_eq!(pairs, vec![Pair { donor: 7, receiver: 5 }, Pair { donor: 0, receiver: 6 }]);
     }
 
     #[test]
@@ -243,10 +306,7 @@ mod tests {
         let idle = busy.map(|b| !b);
         let pairs = rendezvous_match_from(&busy, &idle, 1);
         // GP now matches them to busy 2,3 (0-based 1,2).
-        assert_eq!(
-            pairs,
-            vec![Pair { donor: 1, receiver: 5 }, Pair { donor: 2, receiver: 6 }]
-        );
+        assert_eq!(pairs, vec![Pair { donor: 1, receiver: 5 }, Pair { donor: 2, receiver: 6 }]);
     }
 
     #[test]
@@ -272,10 +332,7 @@ mod tests {
         let idle = [false, true, false, true];
         // start beyond the last busy index wraps to the first busy PE.
         let pairs = rendezvous_match_from(&busy, &idle, 3);
-        assert_eq!(
-            pairs,
-            vec![Pair { donor: 0, receiver: 1 }, Pair { donor: 2, receiver: 3 }]
-        );
+        assert_eq!(pairs, vec![Pair { donor: 0, receiver: 1 }, Pair { donor: 2, receiver: 3 }]);
     }
 
     #[test]
@@ -287,5 +344,86 @@ mod tests {
     #[should_panic(expected = "same PEs")]
     fn mismatched_lengths_panic() {
         let _ = rendezvous_match(&[true], &[true, false]);
+    }
+
+    #[test]
+    fn pack_indices_into_reuses_buffer_and_matches_allocating_path() {
+        let mut out = Vec::new();
+        let flags = [false, true, true, false, true];
+        pack_indices_into(&flags, &mut out);
+        assert_eq!(out, pack_indices(&flags));
+        // Refill with different contents: cleared, not appended.
+        pack_indices_into(&[true, false], &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn pack_indices_par_path_matches_seq_path() {
+        // Cross the PAR_THRESHOLD so the enumerate-and-scatter path runs.
+        let n = PAR_THRESHOLD + 37;
+        let flags: Vec<bool> = (0..n).map(|i| i % 3 == 1 || i % 7 == 0).collect();
+        let mut par_out = Vec::new();
+        pack_indices_into(&flags, &mut par_out);
+        let seq_out: Vec<usize> =
+            flags.iter().enumerate().filter(|(_, &f)| f).map(|(i, _)| i).collect();
+        assert_eq!(par_out, seq_out);
+    }
+
+    #[test]
+    fn match_into_agrees_with_allocating_match_across_rotations() {
+        let busy = [true, false, true, true, false, true, false, true];
+        let idle = busy.map(|b| !b);
+        let mut scratch = MatchScratch::default();
+        let mut pairs = Vec::new();
+        for start in 0..busy.len() {
+            rendezvous_match_from_into(&busy, &idle, start, &mut scratch, &mut pairs);
+            assert_eq!(pairs, rendezvous_match_from(&busy, &idle, start), "start={start}");
+        }
+    }
+
+    #[test]
+    fn match_packed_agrees_with_flag_path_for_all_rotations() {
+        let busy = [true, false, true, true, false, true, false, true];
+        let idle = busy.map(|b| !b);
+        let packed_busy = pack_indices(&busy);
+        let packed_idle = pack_indices(&idle);
+        let mut pairs = Vec::new();
+        for start in 0..=busy.len() {
+            rendezvous_match_packed(&packed_busy, &packed_idle, start, &mut pairs);
+            assert_eq!(pairs, rendezvous_match_from(&busy, &idle, start), "start={start}");
+        }
+    }
+
+    #[test]
+    fn match_packed_accepts_idle_prefix() {
+        // Surplus idle PEs are never matched, so passing only the first
+        // min(A, I) idle indices must give the same pairs.
+        let busy = [false, true, false, false, true, false];
+        let idle = busy.map(|b| !b);
+        let packed_busy = pack_indices(&busy); // [1, 4]
+        let full_idle = pack_indices(&idle); // [0, 2, 3, 5]
+        let mut full = Vec::new();
+        let mut prefix = Vec::new();
+        rendezvous_match_packed(&packed_busy, &full_idle, 2, &mut full);
+        rendezvous_match_packed(&packed_busy, &full_idle[..2], 2, &mut prefix);
+        assert_eq!(full, prefix);
+        assert_eq!(full.len(), 2);
+    }
+
+    #[test]
+    fn match_into_large_machine_uses_scan_path() {
+        let p = PAR_THRESHOLD + 11;
+        let busy: Vec<bool> = (0..p).map(|i| i % 5 == 0).collect();
+        let idle: Vec<bool> = (0..p).map(|i| i % 5 == 2).collect();
+        let mut scratch = MatchScratch::default();
+        let mut pairs = Vec::new();
+        rendezvous_match_from_into(&busy, &idle, 123, &mut scratch, &mut pairs);
+        assert!(!pairs.is_empty());
+        for pair in &pairs {
+            assert!(busy[pair.donor]);
+            assert!(idle[pair.receiver]);
+        }
+        // Receivers are fed in plain index order (paper Fig. 2 semantics).
+        assert!(pairs.windows(2).all(|w| w[0].receiver < w[1].receiver));
     }
 }

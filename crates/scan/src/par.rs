@@ -29,24 +29,17 @@ pub fn inclusive_scan<O: ScanOp>(xs: &[O::Elem]) -> Vec<O::Elem> {
 
 fn scan_impl<O: ScanOp>(xs: &[O::Elem], inclusive: bool) -> Vec<O::Elem> {
     if xs.len() <= CHUNK {
-        return if inclusive {
-            seq::inclusive_scan::<O>(xs)
-        } else {
-            seq::exclusive_scan::<O>(xs)
-        };
+        return if inclusive { seq::inclusive_scan::<O>(xs) } else { seq::exclusive_scan::<O>(xs) };
     }
     // Up-sweep: reduce each chunk.
-    let chunk_sums: Vec<O::Elem> =
-        xs.par_chunks(CHUNK).map(|c| seq::reduce::<O>(c)).collect();
+    let chunk_sums: Vec<O::Elem> = xs.par_chunks(CHUNK).map(|c| seq::reduce::<O>(c)).collect();
     // Exclusive scan of chunk sums gives each chunk's incoming prefix. The
     // number of chunks is tiny, so this stays sequential.
     let prefixes = seq::exclusive_scan::<O>(&chunk_sums);
     // Down-sweep: scan each chunk seeded with its prefix.
     let mut out = vec![O::identity(); xs.len()];
-    out.par_chunks_mut(CHUNK)
-        .zip(xs.par_chunks(CHUNK))
-        .zip(prefixes.par_iter())
-        .for_each(|((out_chunk, in_chunk), &prefix)| {
+    out.par_chunks_mut(CHUNK).zip(xs.par_chunks(CHUNK)).zip(prefixes.par_iter()).for_each(
+        |((out_chunk, in_chunk), &prefix)| {
             let mut acc = prefix;
             if inclusive {
                 for (o, &x) in out_chunk.iter_mut().zip(in_chunk) {
@@ -59,7 +52,8 @@ fn scan_impl<O: ScanOp>(xs: &[O::Elem], inclusive: bool) -> Vec<O::Elem> {
                     acc = O::combine(acc, x);
                 }
             }
-        });
+        },
+    );
     out
 }
 

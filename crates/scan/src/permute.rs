@@ -45,13 +45,15 @@ pub fn unpack<T: Copy>(packed: &[T], flags: &[bool], default: T) -> Vec<T> {
     let mut it = packed.iter();
     flags
         .iter()
-        .map(|&f| {
-            if f {
-                *it.next().expect("packed values must cover every set flag")
-            } else {
-                default
-            }
-        })
+        .map(
+            |&f| {
+                if f {
+                    *it.next().expect("packed values must cover every set flag")
+                } else {
+                    default
+                }
+            },
+        )
         .collect()
 }
 

@@ -76,10 +76,7 @@ mod tests {
     fn single_segment_equals_plain_scan() {
         let xs = [4u64, 1, 1, 8];
         let flags = [true, false, false, false];
-        assert_eq!(
-            exclusive_segmented::<SumOp>(&xs, &flags),
-            seq::exclusive_scan::<SumOp>(&xs)
-        );
+        assert_eq!(exclusive_segmented::<SumOp>(&xs, &flags), seq::exclusive_scan::<SumOp>(&xs));
     }
 
     #[test]

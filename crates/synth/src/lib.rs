@@ -68,12 +68,7 @@ impl BinomialTree {
     pub fn with_q(seed: u64, root_children: u32, m: u32, q: f64) -> Self {
         assert!((0.0..1.0).contains(&q), "q must be a probability");
         assert!(q * (m as f64) < 1.0, "supercritical binomial tree would be infinite");
-        Self {
-            seed,
-            root_children,
-            m,
-            q_threshold: (q * (u64::MAX as f64)) as u64,
-        }
+        Self { seed, root_children, m, q_threshold: (q * (u64::MAX as f64)) as u64 }
     }
 
     /// Expected number of nodes: `1 + b0 / (1 - q m)` (branching-process
@@ -184,10 +179,7 @@ pub fn find_tree(target: u64, rel_tol: f64, max_seeds: u64) -> SizedTree {
         let tree = GeometricTree { seed, b_max: 8, depth_limit };
         let w = serial_dfs(&tree).expanded;
         let dist = ((w as f64).ln() - (target as f64).ln()).abs();
-        if best
-            .as_ref()
-            .is_none_or(|b| dist < ((b.w as f64).ln() - (target as f64).ln()).abs())
-        {
+        if best.as_ref().is_none_or(|b| dist < ((b.w as f64).ln() - (target as f64).ln()).abs()) {
             best = Some(SizedTree { tree, w });
         }
         if let Some(b) = &best {

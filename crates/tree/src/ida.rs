@@ -65,8 +65,7 @@ pub fn bounded_dfs<H: HeuristicProblem>(
             on_goal(&node);
         }
         children.clear();
-        if let Some(pruned) = problem.expand_tracking_pruned(&node, &mut children, &mut scratch)
-        {
+        if let Some(pruned) = problem.expand_tracking_pruned(&node, &mut children, &mut scratch) {
             next_bound = Some(next_bound.map_or(pruned, |b| b.min(pruned)));
         }
         stack.push_frame(std::mem::take(&mut children));
@@ -180,9 +179,6 @@ mod tests {
     fn total_expanded_sums_iterations() {
         let p = WeakLine { n: 6 };
         let r = ida_star(&p, 100);
-        assert_eq!(
-            r.total_expanded(),
-            r.iterations.iter().map(|i| i.expanded).sum::<u64>()
-        );
+        assert_eq!(r.total_expanded(), r.iterations.iter().map(|i| i.expanded).sum::<u64>());
     }
 }

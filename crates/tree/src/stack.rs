@@ -47,6 +47,11 @@ pub struct SearchStack<N> {
     frames: Vec<Vec<N>>,
     /// Total alternatives across frames (the paper's "nodes on its stack").
     len: usize,
+    /// Recycled frame vectors: emptied frames land here instead of being
+    /// freed, and [`SearchStack::push_frame_from`] reuses their capacity.
+    /// In steady state a DFS therefore pushes and pops frames without
+    /// touching the allocator. Never observable through the public API.
+    spare: Vec<Vec<N>>,
 }
 
 impl<N> Default for SearchStack<N> {
@@ -58,12 +63,12 @@ impl<N> Default for SearchStack<N> {
 impl<N> SearchStack<N> {
     /// An empty stack (an idle processor).
     pub fn new() -> Self {
-        Self { frames: Vec::new(), len: 0 }
+        Self { frames: Vec::new(), len: 0, spare: Vec::new() }
     }
 
     /// A stack holding a single root alternative.
     pub fn from_root(root: N) -> Self {
-        Self { frames: vec![vec![root]], len: 1 }
+        Self { frames: vec![vec![root]], len: 1, spare: Vec::new() }
     }
 
     /// Total untried alternatives on the stack.
@@ -94,14 +99,17 @@ impl<N> SearchStack<N> {
             match top.pop() {
                 Some(n) => break n,
                 None => {
-                    self.frames.pop();
+                    let empty = self.frames.pop().expect("last_mut saw a frame");
+                    self.spare.push(empty);
                 }
             }
         };
         self.len -= 1;
-        // Drop any frames emptied by this pop so depth() stays meaningful.
+        // Recycle any frames emptied by this pop so depth() stays meaningful
+        // and their capacity feeds future `push_frame_from` calls.
         while self.frames.last().is_some_and(Vec::is_empty) {
-            self.frames.pop();
+            let empty = self.frames.pop().expect("just observed");
+            self.spare.push(empty);
         }
         Some(node)
     }
@@ -112,6 +120,56 @@ impl<N> SearchStack<N> {
         if !children.is_empty() {
             self.len += children.len();
             self.frames.push(children);
+        }
+    }
+
+    /// Like [`SearchStack::push_frame`], but *moves the contents out of*
+    /// `children`, leaving its capacity with the caller for the next
+    /// expansion, and backing the new frame with a recycled vector from
+    /// this stack's spare pool. The allocation-steady-state entry point for
+    /// the engine hot loop: once warm, neither side allocates.
+    pub fn push_frame_from(&mut self, children: &mut Vec<N>) {
+        if children.is_empty() {
+            return;
+        }
+        self.len += children.len();
+        let mut frame = self.spare.pop().unwrap_or_default();
+        debug_assert!(frame.is_empty(), "spare pool holds only emptied frames");
+        frame.append(children);
+        self.frames.push(frame);
+    }
+
+    /// Build the new top frame *in place*: `fill` writes the children into
+    /// a frame vector recycled from the spare pool (or a fresh one the
+    /// first time), which then becomes the top frame. Skips the bounce
+    /// through a caller-side child buffer that [`SearchStack::push_frame_from`]
+    /// requires, so the engine's expansion step writes each child exactly
+    /// once. Returns the number of children pushed; an empty fill leaves
+    /// the stack untouched (the frame returns to the pool).
+    pub fn push_frame_with(&mut self, fill: impl FnOnce(&mut Vec<N>)) -> usize {
+        let mut frame = self.spare.pop().unwrap_or_default();
+        debug_assert!(frame.is_empty(), "spare pool holds only emptied frames");
+        fill(&mut frame);
+        let n = frame.len();
+        if n == 0 {
+            self.spare.push(frame);
+        } else {
+            self.len += n;
+            self.frames.push(frame);
+        }
+        n
+    }
+
+    /// Merge a donated stack on top of `self`, preserving the donation's
+    /// frame structure (its shallowest frame sits immediately above our
+    /// current top). DFS will exhaust the merged work before resuming the
+    /// work below it — the same place a flattened merge would put it, but
+    /// split policies and `depth()` keep seeing the true level boundaries.
+    pub fn merge_from(&mut self, donated: SearchStack<N>) {
+        self.len += donated.len;
+        for frame in donated.frames {
+            debug_assert!(!frame.is_empty(), "stacks never store empty frames");
+            self.frames.push(frame);
         }
     }
 
@@ -184,7 +242,7 @@ impl<N> SearchStack<N> {
                     moved = 1;
                 }
                 self.len -= moved;
-                SearchStack { frames: out_frames, len: moved }
+                SearchStack { frames: out_frames, len: moved, spare: Vec::new() }
             }
         };
         // Purge frames emptied by the donation.
@@ -192,6 +250,82 @@ impl<N> SearchStack<N> {
         debug_assert!(!self.is_empty(), "split must leave the donor non-empty");
         debug_assert!(!donated.is_empty(), "split must feed the receiver");
         Some(donated)
+    }
+
+    /// [`SearchStack::split`] directly into `receiver`: the donated frames
+    /// land on top of the receiver's stack (exactly where
+    /// [`SearchStack::merge_from`] would put them) but are backed by frame
+    /// vectors recycled from the *receiver's* spare pool, and frames the
+    /// donation empties return to the *donor's* pool. A warmed-up transfer
+    /// therefore touches the allocator not at all, where
+    /// `split` + `merge_from` pays two allocations per transfer. Returns
+    /// `false` (both stacks untouched) when `self` is not splittable.
+    pub fn split_into(&mut self, policy: SplitPolicy, receiver: &mut SearchStack<N>) -> bool {
+        if !self.can_split() {
+            return false;
+        }
+        match policy {
+            SplitPolicy::Bottom | SplitPolicy::Top => {
+                let idx = match policy {
+                    SplitPolicy::Bottom => self
+                        .frames
+                        .iter()
+                        .position(|f| !f.is_empty())
+                        .expect("len >= 2 implies a non-empty frame"),
+                    _ => self
+                        .frames
+                        .iter()
+                        .rposition(|f| !f.is_empty())
+                        .expect("len >= 2 implies a non-empty frame"),
+                };
+                let node = self.frames[idx].remove(0);
+                self.len -= 1;
+                if self.frames[idx].is_empty() {
+                    let empty = self.frames.remove(idx);
+                    self.spare.push(empty);
+                }
+                let mut frame = receiver.spare.pop().unwrap_or_default();
+                frame.push(node);
+                receiver.frames.push(frame);
+                receiver.len += 1;
+            }
+            SplitPolicy::Half => {
+                let mut moved = 0usize;
+                for frame in &mut self.frames {
+                    let take = frame.len() / 2;
+                    if take == 0 {
+                        continue; // singleton (or empty) frame: nothing moves
+                    }
+                    let mut out = receiver.spare.pop().unwrap_or_default();
+                    out.extend(frame.drain(..take));
+                    moved += take;
+                    receiver.frames.push(out);
+                }
+                if moved == 0 {
+                    // Every frame held exactly one node; fall back to the
+                    // bottom alternative so the receiver gets something.
+                    let idx = self
+                        .frames
+                        .iter()
+                        .position(|f| !f.is_empty())
+                        .expect("len >= 2 implies a non-empty frame");
+                    let node = self.frames[idx].remove(0);
+                    if self.frames[idx].is_empty() {
+                        let empty = self.frames.remove(idx);
+                        self.spare.push(empty);
+                    }
+                    let mut frame = receiver.spare.pop().unwrap_or_default();
+                    frame.push(node);
+                    receiver.frames.push(frame);
+                    moved = 1;
+                }
+                self.len -= moved;
+                receiver.len += moved;
+            }
+        }
+        debug_assert!(!self.is_empty(), "split must leave the donor non-empty");
+        debug_assert!(!receiver.is_empty(), "split must feed the receiver");
+        true
     }
 
     /// Donate up to `k` alternatives from the bottom of the stack,
@@ -221,7 +355,7 @@ impl<N> SearchStack<N> {
         self.len -= moved;
         self.frames.retain(|f| !f.is_empty());
         debug_assert!(!self.is_empty());
-        Some(SearchStack { frames: out_frames, len: moved })
+        Some(SearchStack { frames: out_frames, len: moved, spare: Vec::new() })
     }
 
     /// Iterate the alternatives bottom-to-top (test helper / diagnostics).
@@ -236,7 +370,7 @@ mod tests {
 
     fn stack_of(frames: Vec<Vec<u32>>) -> SearchStack<u32> {
         let len = frames.iter().map(Vec::len).sum();
-        SearchStack { frames, len }
+        SearchStack { frames, len, spare: Vec::new() }
     }
 
     #[test]
@@ -361,6 +495,156 @@ mod tests {
         assert!(s.split_count(0).is_none());
         let mut single = SearchStack::from_root(9);
         assert!(single.split_count(1).is_none());
+    }
+
+    #[test]
+    fn push_frame_from_matches_push_frame_semantics() {
+        let mut a = SearchStack::from_root(0);
+        let mut b = SearchStack::from_root(0);
+        a.pop_next();
+        b.pop_next();
+        let mut buf = vec![1, 2, 3];
+        a.push_frame_from(&mut buf);
+        b.push_frame(vec![1, 2, 3]);
+        assert!(buf.is_empty(), "contents moved out, capacity kept");
+        assert!(buf.capacity() >= 3, "caller keeps the buffer's capacity");
+        let (mut xa, mut xb) = (Vec::new(), Vec::new());
+        while let Some(n) = a.pop_next() {
+            xa.push(n);
+        }
+        while let Some(n) = b.pop_next() {
+            xb.push(n);
+        }
+        assert_eq!(xa, xb);
+    }
+
+    #[test]
+    fn push_frame_from_empty_is_noop() {
+        let mut s = SearchStack::from_root(1);
+        let mut buf: Vec<u32> = Vec::new();
+        s.push_frame_from(&mut buf);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn frame_pool_recycles_capacity() {
+        let mut s = SearchStack::from_root(0);
+        s.pop_next();
+        let mut buf = Vec::with_capacity(8);
+        buf.extend([1u32, 2, 3]);
+        s.push_frame_from(&mut buf);
+        // Drain the frame: its (capacity >= 3) vector moves to the pool.
+        while s.pop_next().is_some() {}
+        assert!(s.is_empty());
+        buf.extend([4, 5]);
+        s.push_frame_from(&mut buf);
+        // The recycled frame already had room for 2 nodes, so the stack
+        // performed no allocation; observable via its existing capacity.
+        assert_eq!(s.len(), 2);
+        assert!(s.frames[0].capacity() >= 2);
+        assert_eq!(s.pop_next(), Some(5));
+        assert_eq!(s.pop_next(), Some(4));
+    }
+
+    #[test]
+    fn merge_from_preserves_frame_structure() {
+        let mut receiver = stack_of(vec![vec![1, 2]]);
+        let donated = stack_of(vec![vec![10], vec![20, 21]]);
+        receiver.merge_from(donated);
+        assert_eq!(receiver.len(), 5);
+        assert_eq!(receiver.depth(), 3, "donated frames stay distinct");
+        assert_eq!(receiver.iter().copied().collect::<Vec<_>>(), vec![1, 2, 10, 20, 21]);
+        // DFS exhausts the merged work first, deepest donated frame first.
+        assert_eq!(receiver.pop_next(), Some(21));
+        assert_eq!(receiver.pop_next(), Some(20));
+        assert_eq!(receiver.pop_next(), Some(10));
+        assert_eq!(receiver.pop_next(), Some(2));
+    }
+
+    #[test]
+    fn merge_from_into_empty_equals_donation() {
+        let mut receiver: SearchStack<u32> = SearchStack::new();
+        receiver.merge_from(stack_of(vec![vec![7, 8], vec![9]]));
+        assert_eq!(receiver.len(), 3);
+        assert_eq!(receiver.depth(), 2);
+    }
+
+    #[test]
+    fn push_frame_with_matches_push_frame() {
+        let mut a = SearchStack::from_root(0);
+        let mut b = SearchStack::from_root(0);
+        a.pop_next();
+        b.pop_next();
+        let n = a.push_frame_with(|f| f.extend([1, 2, 3]));
+        assert_eq!(n, 3);
+        b.push_frame(vec![1, 2, 3]);
+        assert_eq!(a.iter().copied().collect::<Vec<_>>(), b.iter().copied().collect::<Vec<_>>());
+        assert_eq!(a.depth(), b.depth());
+    }
+
+    #[test]
+    fn push_frame_with_empty_fill_is_noop_and_recycles() {
+        let mut s = SearchStack::from_root(1);
+        let n = s.push_frame_with(|_| {});
+        assert_eq!(n, 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.depth(), 1);
+        // The untouched frame went back to the pool, not to the allocator.
+        assert_eq!(s.spare.len(), 1);
+    }
+
+    #[test]
+    fn split_into_matches_split_plus_merge_for_all_policies() {
+        // Same donor shape through both paths must leave identical donor and
+        // receiver contents (including frame boundaries), for receivers both
+        // empty and already holding work.
+        let shapes: [Vec<Vec<u32>>; 4] = [
+            vec![vec![10, 11], vec![20], vec![30, 31]],
+            vec![vec![1], vec![2], vec![3]],
+            vec![vec![1, 2, 3, 4], vec![5, 6, 7]],
+            vec![vec![10], vec![20, 21]],
+        ];
+        for policy in [SplitPolicy::Bottom, SplitPolicy::Half, SplitPolicy::Top] {
+            for shape in &shapes {
+                for receiver_shape in [vec![], vec![vec![90u32, 91]]] {
+                    let mut donor_a = stack_of(shape.clone());
+                    let mut recv_a = stack_of(receiver_shape.clone());
+                    let mut donor_b = stack_of(shape.clone());
+                    let mut recv_b = stack_of(receiver_shape.clone());
+
+                    let donated = donor_a.split(policy).unwrap();
+                    recv_a.merge_from(donated);
+                    assert!(donor_b.split_into(policy, &mut recv_b), "{policy:?}");
+
+                    let frames = |s: &SearchStack<u32>| s.frames.clone();
+                    assert_eq!(frames(&donor_a), frames(&donor_b), "{policy:?} donor");
+                    assert_eq!(frames(&recv_a), frames(&recv_b), "{policy:?} receiver");
+                    assert_eq!(donor_a.len(), donor_b.len());
+                    assert_eq!(recv_a.len(), recv_b.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_into_unsplittable_is_noop() {
+        let mut donor = SearchStack::from_root(5);
+        let mut recv: SearchStack<u32> = SearchStack::new();
+        assert!(!donor.split_into(SplitPolicy::Bottom, &mut recv));
+        assert_eq!(donor.len(), 1);
+        assert!(recv.is_empty());
+    }
+
+    #[test]
+    fn split_into_recycles_receiver_spare_frames() {
+        let mut donor = stack_of(vec![vec![1, 2, 3]]);
+        let mut recv = SearchStack::from_root(9);
+        recv.pop_next(); // root's frame lands in recv's spare pool
+        assert_eq!(recv.spare.len(), 1);
+        assert!(donor.split_into(SplitPolicy::Bottom, &mut recv));
+        assert_eq!(recv.spare.len(), 0, "the pooled frame backs the donation");
+        assert_eq!(recv.iter().copied().collect::<Vec<_>>(), vec![1]);
     }
 
     #[test]

@@ -65,10 +65,7 @@ pub fn ticks(scale: Scale, min: f64, max: f64, want: usize) -> Vec<f64> {
             }
             let span = (hi - lo + 1) as usize;
             let step = span.div_ceil(want.max(2)).max(1);
-            (lo..=hi)
-                .step_by(step)
-                .map(|e| scale.inverse(e as f64))
-                .collect()
+            (lo..=hi).step_by(step).map(|e| scale.inverse(e as f64)).collect()
         }
     }
 }

@@ -150,8 +150,7 @@ impl Chart {
         ));
         out.push('\n');
         // Ticks + gridlines.
-        for t in ticks(self.x_scale, self.x_scale.inverse(x_min), self.x_scale.inverse(x_max), 6)
-        {
+        for t in ticks(self.x_scale, self.x_scale.inverse(x_min), self.x_scale.inverse(x_max), 6) {
             let x = px(t);
             out.push_str(&format!(
                 r##"<line x1="{x:.1}" y1="{MARGIN_T}" x2="{x:.1}" y2="{:.1}" stroke="#ddd"/>"##,
@@ -163,8 +162,7 @@ impl Chart {
                 tick_label(t)
             ));
         }
-        for t in ticks(self.y_scale, self.y_scale.inverse(y_min), self.y_scale.inverse(y_max), 6)
-        {
+        for t in ticks(self.y_scale, self.y_scale.inverse(y_min), self.y_scale.inverse(y_max), 6) {
             let y = py(t);
             out.push_str(&format!(
                 r##"<line x1="{MARGIN_L}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="#ddd"/>"##,
@@ -181,11 +179,8 @@ impl Chart {
         for (i, s) in self.series.iter().enumerate() {
             let color = PALETTE[i % PALETTE.len()];
             if s.kind == SeriesKind::Line && s.points.len() > 1 {
-                let path: Vec<String> = s
-                    .points
-                    .iter()
-                    .map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y)))
-                    .collect();
+                let path: Vec<String> =
+                    s.points.iter().map(|&(x, y)| format!("{:.1},{:.1}", px(x), py(y))).collect();
                 out.push_str(&format!(
                     r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.8"/>"#,
                     path.join(" ")

@@ -63,10 +63,7 @@ fn main() {
 
     // Serial baseline: W and the solution count.
     let serial = serial_dfs(&problem);
-    println!(
-        "{n}-queens: W = {} nodes, {} solutions (serial DFS)",
-        serial.expanded, serial.goals
-    );
+    println!("{n}-queens: W = {} nodes, {} solutions (serial DFS)", serial.expanded, serial.goals);
 
     // SIMD lockstep machine, GP-D^K.
     for p in [64usize, 512] {
@@ -83,7 +80,8 @@ fn main() {
 
     // MIMD work stealing on the same tree.
     for p in [64usize, 512] {
-        let m = run_mimd(&problem, &MimdConfig::new(p, StealPolicy::RandomPolling, CostModel::cm2()));
+        let m =
+            run_mimd(&problem, &MimdConfig::new(p, StealPolicy::RandomPolling, CostModel::cm2()));
         assert_eq!(m.nodes_expanded, serial.expanded);
         println!(
             "MIMD  P={p:4} RP     : E = {:.2}, {} steals over {} requests",

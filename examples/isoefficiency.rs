@@ -16,10 +16,7 @@ fn main() {
     let targets = [16_384u64, 65_536, 262_144, 1_048_576];
     let trees: Vec<_> = targets.iter().map(|&t| find_tree(t, 0.10, 64)).collect();
     let ps = [128usize, 256, 512, 1024];
-    println!(
-        "grid: P = {ps:?}, W = {:?}\n",
-        trees.iter().map(|t| t.w).collect::<Vec<_>>()
-    );
+    println!("grid: P = {ps:?}, W = {:?}\n", trees.iter().map(|t| t.w).collect::<Vec<_>>());
 
     for (name, scheme) in
         [("GP-S^0.90", Scheme::gp_static(0.9)), ("nGP-S^0.90", Scheme::ngp_static(0.9))]
@@ -33,20 +30,15 @@ fn main() {
         }
         println!("{name}: efficiency grid (rows = P, cols = W):");
         for &p in &ps {
-            let row: Vec<String> = samples
-                .iter()
-                .filter(|s| s.p == p)
-                .map(|s| format!("{:.2}", s.e))
-                .collect();
+            let row: Vec<String> =
+                samples.iter().filter(|s| s.p == p).map(|s| format!("{:.2}", s.e)).collect();
             println!("  P={p:5}: {}", row.join("  "));
         }
         for target in [0.50, 0.60, 0.70] {
             let contour = extract_contour(&samples, target);
             if contour.len() >= 2 {
-                let pts: Vec<(f64, f64)> = contour
-                    .iter()
-                    .map(|c| (c.p as f64 * (c.p as f64).log2(), c.w))
-                    .collect();
+                let pts: Vec<(f64, f64)> =
+                    contour.iter().map(|c| (c.p as f64 * (c.p as f64).log2(), c.w)).collect();
                 let fit = fit_power_law(&pts);
                 println!(
                     "  E={target:.2} contour: W ~ (P log P)^{:.2} over {} points",

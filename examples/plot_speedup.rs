@@ -27,9 +27,7 @@ fn main() {
     chart.x_scale(Scale::Log2).y_scale(Scale::Log2);
 
     let bounded = tree::problem::BoundedProblem::new(&puzzle, bound);
-    for (name, scheme) in
-        [("GP-D^K", Scheme::gp_dk()), ("nGP-S^0.90", Scheme::ngp_static(0.9))]
-    {
+    for (name, scheme) in [("GP-D^K", Scheme::gp_dk()), ("nGP-S^0.90", Scheme::ngp_static(0.9))] {
         let pts: Vec<(f64, f64)> = ps
             .iter()
             .map(|&p| {

@@ -16,17 +16,18 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let vars: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(26);
     let clauses: u32 = args.next().and_then(|a| a.parse().ok()).unwrap_or(vars * 3);
-    println!("random 3-SAT, {vars} vars x {clauses} clauses (ratio {:.2}):\n", clauses as f64 / vars as f64);
+    println!(
+        "random 3-SAT, {vars} vars x {clauses} clauses (ratio {:.2}):\n",
+        clauses as f64 / vars as f64
+    );
 
     for seed in 0..4u64 {
         let dpll = Dpll::new(random_3sat(seed, vars, clauses));
         let serial = serial_dfs(&dpll);
 
         let simd = run(&dpll, &EngineConfig::new(256, Scheme::gp_dk(), CostModel::cm2()));
-        let mimd = run_mimd(
-            &dpll,
-            &MimdConfig::new(256, StealPolicy::RandomPolling, CostModel::cm2()),
-        );
+        let mimd =
+            run_mimd(&dpll, &MimdConfig::new(256, StealPolicy::RandomPolling, CostModel::cm2()));
         let host = deque_dfs(&dpll, 4);
 
         assert_eq!(simd.goals, serial.goals);

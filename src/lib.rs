@@ -62,9 +62,9 @@ pub use uts_core as core;
 pub use uts_machine as machine;
 pub use uts_mimd as mimd;
 pub use uts_net as net;
+pub use uts_par as par;
 pub use uts_problems as problems;
 pub use uts_puzzle15 as puzzle15;
-pub use uts_par as par;
 pub use uts_scan as scan;
 pub use uts_synth as synth;
 pub use uts_tree as tree;
@@ -72,11 +72,15 @@ pub use uts_viz as viz;
 
 /// The names almost every user needs.
 pub mod prelude {
-    pub use uts_core::{run, EngineConfig, Matching, Outcome, Scheme, TransferMode, Trigger};
+    pub use uts_core::{
+        run, run_reference, EngineConfig, Matching, Outcome, Scheme, TransferMode, Trigger,
+    };
     pub use uts_machine::{CostModel, Report, SimdMachine, Topology};
     pub use uts_tree::{serial_dfs, HeuristicProblem, SearchStack, SplitPolicy, TreeProblem};
 
-    pub use crate::{analysis, core, machine, mimd, net, par, problems, puzzle15, scan, synth, tree};
+    pub use crate::{
+        analysis, core, machine, mimd, net, par, problems, puzzle15, scan, synth, tree,
+    };
 }
 
 #[cfg(test)]

@@ -5,8 +5,8 @@
 use simd_tree_search::mimd::{run_mimd, MimdConfig, StealPolicy};
 use simd_tree_search::par::{deque_dfs, rayon_dfs};
 use simd_tree_search::prelude::*;
-use simd_tree_search::problems::{random_3sat, Dpll, Knapsack, NQueens, Side, Sliding};
 use simd_tree_search::problems::knapsack::random_instance;
+use simd_tree_search::problems::{random_3sat, Dpll, Knapsack, NQueens, Side, Sliding};
 use simd_tree_search::puzzle15::{scrambled, Puzzle15};
 use simd_tree_search::tree::ida::ida_star;
 use simd_tree_search::tree::problem::BoundedProblem;
@@ -19,10 +19,8 @@ fn agree_everywhere<P: TreeProblem>(problem: &P, label: &str) {
     assert_eq!(simd.report.nodes_expanded, serial.expanded, "{label}: SIMD nodes");
     assert_eq!(simd.goals, serial.goals, "{label}: SIMD goals");
 
-    let mimd = run_mimd(
-        problem,
-        &MimdConfig::new(64, StealPolicy::GlobalRoundRobin, CostModel::cm2()),
-    );
+    let mimd =
+        run_mimd(problem, &MimdConfig::new(64, StealPolicy::GlobalRoundRobin, CostModel::cm2()));
     assert_eq!(mimd.nodes_expanded, serial.expanded, "{label}: MIMD nodes");
     assert_eq!(mimd.goals, serial.goals, "{label}: MIMD goals");
 

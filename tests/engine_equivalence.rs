@@ -1,0 +1,105 @@
+//! Schedule equivalence: the fused, allocation-steady-state engine
+//! (`uts_core::run`) must produce a **bit-identical** lockstep schedule to
+//! the reference two-sweep executor (`uts_core::run_reference`) — same
+//! counters, same virtual times, same traces, same per-PE donation counts.
+//! The lockstep schedule is the correctness contract of the whole repo:
+//! every table and figure regenerator sits on top of it.
+
+use proptest::prelude::*;
+use simd_tree_search::prelude::*;
+use simd_tree_search::synth::{BinomialTree, GeometricTree};
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        (0.05f64..0.95).prop_map(Scheme::gp_static),
+        (0.05f64..0.95).prop_map(Scheme::ngp_static),
+        Just(Scheme::gp_dk()),
+        Just(Scheme::ngp_dk()),
+        Just(Scheme::gp_dp()),
+        Just(Scheme::ngp_dp()),
+        Just(Scheme::fess()),
+        Just(Scheme::fegs()),
+    ]
+}
+
+fn arb_split() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![Just(SplitPolicy::Bottom), Just(SplitPolicy::Half), Just(SplitPolicy::Top)]
+}
+
+/// Every observable of the two outcomes must coincide. Plain asserts so the
+/// helper is usable from property and unit tests alike (a panic fails a
+/// proptest case the same way a `prop_assert!` does).
+fn assert_equivalent(fused: &Outcome, reference: &Outcome) {
+    assert_eq!(fused.report.n_expand, reference.report.n_expand, "n_expand");
+    assert_eq!(fused.report.n_lb, reference.report.n_lb, "n_lb");
+    assert_eq!(fused.report.n_transfers, reference.report.n_transfers, "n_transfers");
+    assert_eq!(fused.report.nodes_expanded, reference.report.nodes_expanded, "nodes_expanded");
+    assert_eq!(fused.report.t_par, reference.report.t_par, "t_par");
+    assert_eq!(fused.report.t_calc, reference.report.t_calc, "t_calc");
+    assert_eq!(fused.report.t_idle, reference.report.t_idle, "t_idle");
+    assert_eq!(fused.report.t_lb, reference.report.t_lb, "t_lb");
+    assert_eq!(fused.report.active_trace, reference.report.active_trace, "active_trace");
+    assert_eq!(fused.goals, reference.goals, "goals");
+    assert_eq!(fused.truncated, reference.truncated, "truncated");
+    assert_eq!(fused.donations, reference.donations, "donations");
+    assert_eq!(fused.peak_stack_nodes, reference.peak_stack_nodes, "peak_stack_nodes");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Schemes × machine sizes × seeds: exhaustive runs schedule
+    /// identically under the fused and reference engines, down to the
+    /// Fig. 8 active trace and every per-PE donation counter.
+    #[test]
+    fn fused_engine_matches_reference_schedule(
+        seed in 0u64..400,
+        scheme in arb_scheme(),
+        split in arb_split(),
+        p_log in 0u32..9,
+    ) {
+        let tree = GeometricTree { seed, b_max: 6, depth_limit: 5 };
+        let p = 1usize << p_log;
+        let cfg = EngineConfig::new(p, scheme, CostModel::cm2())
+            .with_split(split)
+            .with_trace();
+        let fused = run(&tree, &cfg);
+        let reference = run_reference(&tree, &cfg);
+        assert_equivalent(&fused, &reference);
+    }
+
+    /// Same contract on goal-bearing binomial trees, including the
+    /// stop-on-goal early exit.
+    #[test]
+    fn fused_engine_matches_reference_with_goals(
+        seed in 0u64..200,
+        scheme in arb_scheme(),
+        stop_on_goal in any::<bool>(),
+        p_log in 2u32..8,
+    ) {
+        let tree = BinomialTree::with_q(seed, 16, 4, 0.2);
+        let mut cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace();
+        cfg.stop_on_goal = stop_on_goal;
+        let fused = run(&tree, &cfg);
+        let reference = run_reference(&tree, &cfg);
+        assert_equivalent(&fused, &reference);
+    }
+}
+
+/// Non-property spot check covering every Table 1 scheme at a fixed larger
+/// P, so a regression names the scheme that diverged.
+#[test]
+fn table1_schemes_schedule_identically_at_p256() {
+    let tree = GeometricTree { seed: 17, b_max: 8, depth_limit: 6 };
+    for (name, scheme) in Scheme::table1(0.75) {
+        let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace();
+        let fused = run(&tree, &cfg);
+        let reference = run_reference(&tree, &cfg);
+        assert_eq!(fused.report.n_expand, reference.report.n_expand, "{name}");
+        assert_eq!(fused.report.n_lb, reference.report.n_lb, "{name}");
+        assert_eq!(fused.report.t_idle, reference.report.t_idle, "{name}");
+        assert_eq!(fused.report.t_lb, reference.report.t_lb, "{name}");
+        assert_eq!(fused.report.active_trace, reference.report.active_trace, "{name}");
+        assert_eq!(fused.donations, reference.donations, "{name}");
+    }
+}

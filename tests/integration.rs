@@ -116,9 +116,8 @@ fn analytic_optimal_trigger_is_near_empirical_argmax() {
     // can sit on a flat plateau, and eq. 18's delta = 0 approximation
     // overshoots when W/P is small — the paper notes the true optimum is
     // then smaller).
-    let e_at_xo = run(&bp, &EngineConfig::new(p, Scheme::gp_static(xo), CostModel::cm2()))
-        .report
-        .efficiency;
+    let e_at_xo =
+        run(&bp, &EngineConfig::new(p, Scheme::gp_static(xo), CostModel::cm2())).report.efficiency;
     let grid = [0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95];
     let best_e = grid
         .iter()
@@ -167,7 +166,8 @@ fn mimd_and_simd_search_the_same_space() {
     let tree = GeometricTree { seed: 3, b_max: 8, depth_limit: 6 };
     let w = serial_dfs(&tree).expanded;
     let simd = run(&tree, &EngineConfig::new(128, Scheme::gp_dk(), CostModel::cm2()));
-    let mimd = run_mimd(&tree, &MimdConfig::new(128, StealPolicy::GlobalRoundRobin, CostModel::cm2()));
+    let mimd =
+        run_mimd(&tree, &MimdConfig::new(128, StealPolicy::GlobalRoundRobin, CostModel::cm2()));
     let nn = run_nearest_neighbor(&tree, &NnConfig::new(128, CostModel::cm2()));
     assert_eq!(simd.report.nodes_expanded, w);
     assert_eq!(mimd.nodes_expanded, w);
@@ -180,8 +180,7 @@ fn mimd_is_at_least_as_efficient_as_lockstep_at_same_point() {
     // (much) worse — the paper's Sec. 9 explains SIMD pays extra idling.
     let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
     let simd = run(&tree, &EngineConfig::new(256, Scheme::gp_static(0.9), CostModel::cm2()));
-    let mimd =
-        run_mimd(&tree, &MimdConfig::new(256, StealPolicy::RandomPolling, CostModel::cm2()));
+    let mimd = run_mimd(&tree, &MimdConfig::new(256, StealPolicy::RandomPolling, CostModel::cm2()));
     assert!(
         mimd.efficiency >= simd.report.efficiency - 0.05,
         "MIMD {:.2} vs SIMD {:.2}",

@@ -1,0 +1,160 @@
+//! Offline stand-in for the `crossbeam::deque` API this workspace uses.
+//!
+//! Upstream crossbeam-deque is a lock-free Chase–Lev deque; this stand-in
+//! is a `Mutex<VecDeque>` with the same interface and the same LIFO-owner /
+//! FIFO-thief discipline. Correctness properties (every pushed item popped
+//! exactly once, owner takes the deep end, thieves take the shallow end)
+//! are identical; only scalability under contention differs, which is moot
+//! on the single-CPU image this builds on.
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Result of a steal attempt.
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One item was stolen.
+        Success(T),
+        /// Transient contention; the caller should retry.
+        Retry,
+    }
+
+    /// Owner end of a work-stealing deque.
+    pub struct Worker<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New deque whose owner pops in LIFO order (depth-first locally).
+        pub fn new_lifo() -> Self {
+            Self { queue: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// Push onto the owner's end.
+        pub fn push(&self, item: T) {
+            self.queue.lock().expect("deque poisoned").push_back(item);
+        }
+
+        /// Pop from the owner's end (most recent item).
+        pub fn pop(&self) -> Option<T> {
+            self.queue.lock().expect("deque poisoned").pop_back()
+        }
+
+        /// Handle for other threads to steal from the opposite end.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    /// Thief end of a work-stealing deque.
+    pub struct Stealer<T> {
+        queue: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Self { queue: Arc::clone(&self.queue) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal from the victim's shallow end (oldest item).
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("deque poisoned").pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    /// Global FIFO injection queue shared by all workers.
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// New empty injector.
+        pub fn new() -> Self {
+            Self { queue: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Push a task for any worker to take.
+        pub fn push(&self, item: T) {
+            self.queue.lock().expect("injector poisoned").push_back(item);
+        }
+
+        /// Take the oldest injected task.
+        pub fn steal(&self) -> Steal<T> {
+            match self.queue.lock().expect("injector poisoned").pop_front() {
+                Some(item) => Steal::Success(item),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_is_lifo_thief_is_fifo() {
+            let w: Worker<u32> = Worker::new_lifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.pop(), Some(3), "owner takes the deep end");
+            match s.steal() {
+                Steal::Success(v) => assert_eq!(v, 1, "thief takes the shallow end"),
+                _ => panic!("steal must succeed"),
+            }
+            assert_eq!(w.pop(), Some(2));
+            assert!(w.pop().is_none());
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push(10);
+            inj.push(20);
+            assert!(matches!(inj.steal(), Steal::Success(10)));
+            assert!(matches!(inj.steal(), Steal::Success(20)));
+            assert!(matches!(inj.steal(), Steal::Empty));
+        }
+
+        #[test]
+        fn cross_thread_draining_conserves_items() {
+            let w: Worker<u64> = Worker::new_lifo();
+            for i in 0..1000 {
+                w.push(i);
+            }
+            let stealers: Vec<Stealer<u64>> = (0..4).map(|_| w.stealer()).collect();
+            let stolen: u64 = std::thread::scope(|scope| {
+                stealers
+                    .into_iter()
+                    .map(|s| {
+                        scope.spawn(move || {
+                            let mut n = 0u64;
+                            while let Steal::Success(_) = s.steal() {
+                                n += 1;
+                            }
+                            n
+                        })
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .map(|h| h.join().expect("no panics"))
+                    .sum()
+            });
+            assert_eq!(stolen + w.pop().into_iter().count() as u64, 1000);
+        }
+    }
+}

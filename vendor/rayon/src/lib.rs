@@ -1,0 +1,189 @@
+//! Offline stand-in for the slice of rayon this workspace uses.
+//!
+//! The build environment has no crates.io access and (today) a single CPU,
+//! so the `par_*` entry points here return a [`ParIter`] wrapper over the
+//! corresponding *sequential* std iterator with rayon's combinator names.
+//! Semantics are identical to rayon for the deterministic, side-effect-free
+//! closures used in this repo; only host-level parallelism is absent. The
+//! simulated SIMD schedule never depended on it (see
+//! `crates/core/src/engine.rs`: host execution strategy "changes wall-clock
+//! speed but not one bit of the simulated schedule").
+//!
+//! If a multi-core image lands later, swapping the workspace dependency
+//! back to upstream rayon requires no source changes.
+
+/// Sequential adapter carrying rayon's combinator names.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Pair with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the items.
+    #[allow(clippy::unnecessary_fold)]
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon-style reduce: fold from `identity()` with `op`.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        Op: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+impl<'a, I, T: 'a> ParIter<I>
+where
+    I: Iterator<Item = &'a T>,
+    T: Copy,
+{
+    /// Copy out of references (mirror of `Iterator::copied`).
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// `par_iter` / `par_chunks` over shared slices.
+pub trait ParSliceExt<T> {
+    /// Parallel-iterator view of the slice.
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    /// Parallel iterator over `size`-element chunks.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T> ParSliceExt<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+}
+
+/// `par_iter_mut` / `par_chunks_mut` over mutable slices.
+pub trait ParSliceMutExt<T> {
+    /// Mutable parallel-iterator view of the slice.
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    /// Mutable parallel iterator over `size`-element chunks.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+}
+
+impl<T> ParSliceMutExt<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+}
+
+/// `into_par_iter` for owned collections and ranges.
+pub trait IntoParallelIterator {
+    /// Item type of the resulting iterator.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = std::ops::Range<usize>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Run two closures (sequentially here) and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads (1 in this sequential stand-in).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// The traits a caller conventionally glob-imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParSliceExt, ParSliceMutExt};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_matches_serial() {
+        let v = [1u64, 2, 3, 4];
+        let doubled: Vec<u64> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn chunked_zip_for_each() {
+        let xs = [1u64, 2, 3, 4, 5, 6];
+        let mut out = [0u64; 6];
+        out.par_chunks_mut(2).zip(xs.par_chunks(2)).for_each(|(o, i)| {
+            o.copy_from_slice(i);
+        });
+        assert_eq!(out, xs);
+    }
+
+    #[test]
+    fn reduce_uses_identity() {
+        let total = vec![1u32, 2, 3].into_par_iter().reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn filter_count_sum() {
+        let xs = [1u64, 2, 3, 4, 5];
+        assert_eq!(xs.par_iter().filter(|&&x| x % 2 == 1).count(), 3);
+        let s: u64 = xs.par_iter().copied().sum();
+        assert_eq!(s, 15);
+    }
+}

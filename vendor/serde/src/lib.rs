@@ -1,0 +1,38 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public types so a
+//! future networked build can switch back to real serde without touching
+//! call sites, but nothing in-tree actually serializes (there is no
+//! `serde_json` dependency). This crate keeps those derives compiling in an
+//! environment without crates.io access:
+//!
+//! * the derive macros (re-exported from our `serde_derive`) expand to
+//!   nothing, and
+//! * the traits carry blanket impls, so any `T: Serialize` bound holds.
+//!
+//! Swapping back to upstream serde is a one-line change in the workspace
+//! `Cargo.toml`; no source file mentions this shim.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`; blanket-implemented.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` with the deserialization traits.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` with the serialization trait.
+pub mod ser {
+    pub use crate::Serialize;
+}
