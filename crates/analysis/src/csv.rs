@@ -56,10 +56,13 @@ pub fn contour_csv(e: f64, points: &[ContourPoint]) -> String {
     to_csv(&["efficiency", "p", "p_log2_p", "w"], &rows)
 }
 
-/// CSV for an active-processor trace (`A(t)` per cycle).
-pub fn trace_csv(trace: &[u32]) -> String {
+/// CSV for an active-processor trace (`A(t)` per cycle). Takes any
+/// per-cycle iterator so both plain slices and the machine's run-length
+/// encoded trace (via its `iter()`) can be rendered without materializing
+/// a `Vec`.
+pub fn trace_csv<I: IntoIterator<Item = u32>>(trace: I) -> String {
     let rows: Vec<Vec<String>> =
-        trace.iter().enumerate().map(|(i, &a)| vec![i.to_string(), a.to_string()]).collect();
+        trace.into_iter().enumerate().map(|(i, a)| vec![i.to_string(), a.to_string()]).collect();
     to_csv(&["cycle", "active"], &rows)
 }
 
@@ -100,7 +103,7 @@ mod tests {
 
     #[test]
     fn trace_csv_indexes_cycles() {
-        let csv = trace_csv(&[8, 6, 3]);
+        let csv = trace_csv([8, 6, 3]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines, vec!["cycle,active", "0,8", "1,6", "2,3"]);
     }

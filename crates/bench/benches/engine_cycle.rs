@@ -1,15 +1,17 @@
 //! Engine-throughput benchmark: simulated nodes expanded per host second,
-//! fused hot loop vs. the reference two-sweep executor, at the paper's
-//! machine scale (P = 8192, the CM-2 of Sec. 7 had 8K processors).
+//! event-horizon macro engine vs. fused hot loop vs. the reference
+//! two-sweep executor, at the paper's machine scale (P = 8192, the CM-2 of
+//! Sec. 7 had 8K processors).
 //!
 //! The fused loop's advantage grows with P because the reference loop
-//! spends O(P) per cycle on idle slots and a second census sweep, while the
-//! fused loop touches only active PEs. The acceptance bar for the hot-path
-//! refactor is >= 2x nodes/sec on the P = 8192 geometric tree.
+//! spends O(P) per cycle on idle slots and a second census sweep, while
+//! the fused loop touches only active PEs. The macro engine additionally
+//! skips trigger checkpoints it can prove are no-ops, running each PE's
+//! DFS in cache-hot bursts between them.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use uts_core::{run, run_reference, EngineConfig, Scheme};
+use uts_core::{run, run_fused, run_reference, EngineConfig, Scheme};
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
 use uts_tree::serial_dfs;
@@ -24,8 +26,11 @@ fn bench_engine_cycle(c: &mut Criterion) {
     let mut g = c.benchmark_group("engine_cycle");
     g.throughput(Throughput::Elements(w));
     for p in [1024usize, 8192] {
-        g.bench_with_input(BenchmarkId::new("fused", p), &p, |b, &p| {
+        g.bench_with_input(BenchmarkId::new("macro", p), &p, |b, &p| {
             b.iter(|| black_box(run(&tree, &cfg(p))).report.nodes_expanded)
+        });
+        g.bench_with_input(BenchmarkId::new("fused", p), &p, |b, &p| {
+            b.iter(|| black_box(run_fused(&tree, &cfg(p))).report.nodes_expanded)
         });
         g.bench_with_input(BenchmarkId::new("reference", p), &p, |b, &p| {
             b.iter(|| black_box(run_reference(&tree, &cfg(p))).report.nodes_expanded)

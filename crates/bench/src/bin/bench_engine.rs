@@ -1,36 +1,63 @@
 //! Engine-throughput harness: measures simulated nodes expanded per host
-//! second for the fused hot loop and the reference two-sweep executor, and
-//! writes the results to `BENCH_engine.json` (current directory).
+//! second for the event-horizon macro engine, the fused hot loop, and the
+//! reference two-sweep executor, and writes the results to
+//! `BENCH_engine.json` (current directory).
 //!
 //! ```text
-//! cargo run --release -p uts-bench --bin bench_engine -- [--quick] [--out PATH]
+//! cargo run --release -p uts-bench --bin bench_engine -- [--quick] [--check] [--out PATH]
 //! ```
 //!
-//! `--quick` shrinks the tree and machine sizes for CI smoke runs. The JSON
-//! is hand-rolled (flat schema, no serializer dependency):
+//! Two workloads are measured (one in `--quick` mode): the 37k-node
+//! geometric tree at the paper's machine sizes, and a 2.4M-node deep tree
+//! at P = 8192. The small tree undersubscribes an 8K machine so badly
+//! that the trigger fires after nearly every cycle — there the macro
+//! engine can only show parity with the fused loop (its single-cycle fast
+//! path) — while the deep tree reaches a steady state whose multi-cycle
+//! horizons let macro-stepping actually pay.
+//!
+//! `--quick` shrinks the tree and machine sizes for CI smoke runs.
+//! `--check` exits non-zero if an engine regresses past its floor
+//! (fused >= 0.9x reference, macro >= 0.9x fused) — the CI guard against
+//! a hot-path refactor quietly giving the speedups back. The JSON is
+//! hand-rolled (flat schema, no serializer dependency):
 //!
 //! ```json
 //! {
 //!   "bench": "engine_cycle",
-//!   "tree": {"seed": 2, "b_max": 8, "depth_limit": 7, "nodes": 123456},
+//!   "trees": [
+//!     {"label": "d7", "seed": 2, "b_max": 8, "depth_limit": 7, "nodes": 37017},
+//!     ...
+//!   ],
 //!   "results": [
-//!     {"engine": "fused", "p": 8192, "seconds": 1.23,
+//!     {"tree": "d7", "engine": "macro", "p": 8192, "seconds": 1.23,
 //!      "nodes_per_sec": 1.0e5, "n_expand": 42, "t_par_us": 99},
 //!     ...
 //!   ],
-//!   "speedup_vs_reference": {"8192": 2.7}
+//!   "speedups": {
+//!     "fused_vs_reference": {"d7/8192": 2.7, ...},
+//!     "macro_vs_fused": {"d7/8192": 1.0, "d10/8192": 1.3, ...},
+//!     "macro_vs_reference": {"d7/8192": 2.8, ...}
+//!   }
 //! }
 //! ```
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use uts_core::{run, run_reference, EngineConfig, Outcome, Scheme};
+use uts_core::{run, run_fused, run_reference, EngineConfig, Outcome, Scheme};
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
 use uts_tree::{serial_dfs, TreeProblem};
 
+struct TreeCase {
+    label: &'static str,
+    depth_limit: u32,
+    ps: &'static [usize],
+    budget_s: f64,
+}
+
 struct Measurement {
+    tree: &'static str,
     engine: &'static str,
     p: usize,
     seconds: f64,
@@ -41,8 +68,16 @@ struct Measurement {
 
 /// Run `f` repeatedly until ~`budget_s` seconds elapse, returning the mean
 /// seconds per run and the (schedule-invariant) outcome.
+///
+/// A quarter of the budget is spent on untimed warm-up first: engines are
+/// measured back-to-back, and without it the first engine measured pays
+/// the CPU's frequency ramp and cold caches, skewing the speedup ratios.
 fn measure<F: FnMut() -> Outcome>(mut f: F, budget_s: f64) -> (f64, Outcome) {
-    let first = f(); // warm-up (also warms allocator pools)
+    let first = f();
+    let warm = Instant::now();
+    while warm.elapsed().as_secs_f64() < budget_s * 0.25 {
+        f();
+    }
     let mut runs = 0u32;
     let start = Instant::now();
     loop {
@@ -59,6 +94,7 @@ fn measure<F: FnMut() -> Outcome>(mut f: F, budget_s: f64) -> (f64, Outcome) {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let out_idx = args.iter().position(|a| a == "--out");
     let out_path = out_idx
         .map(|i| {
@@ -70,78 +106,112 @@ fn main() {
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
     for (i, a) in args.iter().enumerate() {
         let is_out_value = out_idx == Some(i.wrapping_sub(1));
-        if a != "--quick" && a != "--out" && !is_out_value {
-            eprintln!("error: unknown argument `{a}` (usage: bench_engine [--quick] [--out PATH])");
+        if a != "--quick" && a != "--check" && a != "--out" && !is_out_value {
+            eprintln!(
+                "error: unknown argument `{a}` (usage: bench_engine [--quick] [--check] [--out PATH])"
+            );
             std::process::exit(2);
         }
     }
 
-    let (depth_limit, ps, budget_s): (u32, &[usize], f64) =
-        if quick { (5, &[256], 0.2) } else { (7, &[1024, 8192], 2.0) };
-    let tree = GeometricTree { seed: 2, b_max: 8, depth_limit };
-    let w = serial_dfs(&tree).expanded;
-    // Exercise the root so a broken workload fails loudly before timing.
-    let mut probe = Vec::new();
-    tree.expand(&tree.root(), &mut probe);
-    assert!(!probe.is_empty(), "bench tree must branch at the root");
-
-    eprintln!("tree: geometric seed=2 b_max=8 depth_limit={depth_limit} ({w} nodes)");
+    let cases: &[TreeCase] = if quick {
+        &[TreeCase { label: "d5", depth_limit: 5, ps: &[256], budget_s: 0.2 }]
+    } else {
+        &[
+            TreeCase { label: "d7", depth_limit: 7, ps: &[1024, 8192], budget_s: 2.0 },
+            TreeCase { label: "d10", depth_limit: 10, ps: &[8192], budget_s: 1.0 },
+        ]
+    };
 
     let mut results: Vec<Measurement> = Vec::new();
-    for &p in ps {
-        let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
-        for (engine, runner) in [
-            ("fused", run as fn(&GeometricTree, &EngineConfig) -> Outcome),
-            ("reference", run_reference as fn(&GeometricTree, &EngineConfig) -> Outcome),
-        ] {
-            let (seconds, out) = measure(|| runner(&tree, &cfg), budget_s);
-            assert_eq!(out.report.nodes_expanded, w, "anomaly-free contract");
-            let nodes_per_sec = w as f64 / seconds;
-            eprintln!("P={p:>5} {engine:<9} {seconds:>8.4} s/run  {nodes_per_sec:>12.0} nodes/s");
-            results.push(Measurement {
-                engine,
-                p,
-                seconds,
-                nodes_per_sec,
-                n_expand: out.report.n_expand,
-                t_par_us: out.report.t_par,
-            });
+    let mut tree_sizes: Vec<(&'static str, u32, u64)> = Vec::new();
+    for case in cases {
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: case.depth_limit };
+        let w = serial_dfs(&tree).expanded;
+        tree_sizes.push((case.label, case.depth_limit, w));
+        // Exercise the root so a broken workload fails loudly before timing.
+        let mut probe = Vec::new();
+        tree.expand(&tree.root(), &mut probe);
+        assert!(!probe.is_empty(), "bench tree must branch at the root");
+
+        eprintln!(
+            "tree {}: geometric seed=2 b_max=8 depth_limit={} ({w} nodes)",
+            case.label, case.depth_limit
+        );
+        for &p in case.ps {
+            let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
+            for (engine, runner) in [
+                ("macro", run as fn(&GeometricTree, &EngineConfig) -> Outcome),
+                ("fused", run_fused as fn(&GeometricTree, &EngineConfig) -> Outcome),
+                ("reference", run_reference as fn(&GeometricTree, &EngineConfig) -> Outcome),
+            ] {
+                let (seconds, out) = measure(|| runner(&tree, &cfg), case.budget_s);
+                assert_eq!(out.report.nodes_expanded, w, "anomaly-free contract");
+                let nodes_per_sec = w as f64 / seconds;
+                eprintln!(
+                    "{:<4} P={p:>5} {engine:<9} {seconds:>8.4} s/run  {nodes_per_sec:>12.0} nodes/s",
+                    case.label
+                );
+                results.push(Measurement {
+                    tree: case.label,
+                    engine,
+                    p,
+                    seconds,
+                    nodes_per_sec,
+                    n_expand: out.report.n_expand,
+                    t_par_us: out.report.t_par,
+                });
+            }
         }
     }
 
+    let configs: Vec<(&'static str, usize)> =
+        cases.iter().flat_map(|c| c.ps.iter().map(|&p| (c.label, p))).collect();
+    let rate = |tree: &str, p: usize, engine: &str| {
+        results
+            .iter()
+            .find(|m| m.tree == tree && m.p == p && m.engine == engine)
+            .map(|m| m.nodes_per_sec)
+    };
+    let ratio_map = |num: &str, den: &str| {
+        let mut s = String::new();
+        let mut first = true;
+        for &(tree, p) in &configs {
+            if let (Some(n), Some(d)) = (rate(tree, p, num), rate(tree, p, den)) {
+                if !first {
+                    s.push_str(", ");
+                }
+                first = false;
+                let _ = write!(s, "\"{tree}/{p}\": {:.2}", n / d);
+                eprintln!("{tree:<4} P={p:>5} {num}/{den} speedup: {:.2}x", n / d);
+            }
+        }
+        s
+    };
+
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"engine_cycle\",\n");
-    let _ = writeln!(
-        json,
-        "  \"tree\": {{\"seed\": 2, \"b_max\": 8, \"depth_limit\": {depth_limit}, \"nodes\": {w}}},"
-    );
-    json.push_str("  \"results\": [\n");
+    json.push_str("{\n  \"bench\": \"engine_cycle\",\n  \"trees\": [\n");
+    for (i, (label, depth, w)) in tree_sizes.iter().enumerate() {
+        let comma = if i + 1 < tree_sizes.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{label}\", \"seed\": 2, \"b_max\": 8, \"depth_limit\": {depth}, \"nodes\": {w}}}{comma}"
+        );
+    }
+    json.push_str("  ],\n  \"results\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
         let _ = writeln!(
             json,
-            "    {{\"engine\": \"{}\", \"p\": {}, \"seconds\": {:.6}, \"nodes_per_sec\": {:.1}, \"n_expand\": {}, \"t_par_us\": {}}}{comma}",
-            m.engine, m.p, m.seconds, m.nodes_per_sec, m.n_expand, m.t_par_us
+            "    {{\"tree\": \"{}\", \"engine\": \"{}\", \"p\": {}, \"seconds\": {:.6}, \"nodes_per_sec\": {:.1}, \"n_expand\": {}, \"t_par_us\": {}}}{comma}",
+            m.tree, m.engine, m.p, m.seconds, m.nodes_per_sec, m.n_expand, m.t_par_us
         );
     }
-    json.push_str("  ],\n  \"speedup_vs_reference\": {");
-    let mut first = true;
-    for &p in ps {
-        let fused = results.iter().find(|m| m.p == p && m.engine == "fused");
-        let reference = results.iter().find(|m| m.p == p && m.engine == "reference");
-        if let (Some(f), Some(r)) = (fused, reference) {
-            if !first {
-                json.push_str(", ");
-            }
-            first = false;
-            let _ = write!(json, "\"{}\": {:.2}", p, f.nodes_per_sec / r.nodes_per_sec);
-            eprintln!(
-                "P={p:>5} fused/reference speedup: {:.2}x",
-                f.nodes_per_sec / r.nodes_per_sec
-            );
-        }
-    }
-    json.push_str("}\n}\n");
+    json.push_str("  ],\n  \"speedups\": {\n");
+    let _ = writeln!(json, "    \"fused_vs_reference\": {{{}}},", ratio_map("fused", "reference"));
+    let _ = writeln!(json, "    \"macro_vs_fused\": {{{}}},", ratio_map("macro", "fused"));
+    let _ = writeln!(json, "    \"macro_vs_reference\": {{{}}}", ratio_map("macro", "reference"));
+    json.push_str("  }\n}\n");
 
     match std::fs::write(&out_path, &json) {
         Ok(()) => eprintln!("wrote {out_path}"),
@@ -149,5 +219,30 @@ fn main() {
             eprintln!("could not write {out_path}: {e}");
             std::process::exit(1);
         }
+    }
+
+    if check {
+        // Regression floors, deliberately loose (0.9x) so machine noise
+        // doesn't flake CI while a real hot-path regression still trips.
+        let mut ok = true;
+        for &(tree, p) in &configs {
+            let (ma, fu, re) = (
+                rate(tree, p, "macro").unwrap(),
+                rate(tree, p, "fused").unwrap(),
+                rate(tree, p, "reference").unwrap(),
+            );
+            if fu < 0.9 * re {
+                eprintln!("CHECK FAIL {tree} P={p}: fused {fu:.0} < 0.9x reference {re:.0}");
+                ok = false;
+            }
+            if ma < 0.9 * fu {
+                eprintln!("CHECK FAIL {tree} P={p}: macro {ma:.0} < 0.9x fused {fu:.0}");
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!("check passed: fused >= 0.9x reference, macro >= 0.9x fused");
     }
 }

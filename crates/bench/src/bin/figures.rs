@@ -25,13 +25,16 @@ fn main() {
     let t0 = Instant::now();
     match which {
         "fig3" => fig3(quick),
-        "fig4" => fig4(quick),
-        "fig7" => fig7(quick),
+        "fig4" => fig4(quick, &calibration(quick)),
+        "fig7" => fig7(quick, &calibration(quick)),
         "fig8" => fig8(quick),
         "all" => {
+            // Figs. 4 and 7 sweep the identical (P, W) grid; calibrate the
+            // synthetic trees (serial-DFS-measured W) once and share.
+            let cal = calibration(quick);
             fig3(quick);
-            fig4(quick);
-            fig7(quick);
+            fig4(quick, &cal);
+            fig7(quick, &cal);
             fig8(quick);
         }
         other => {
@@ -65,12 +68,13 @@ fn fig3(quick: bool) {
     let mut t = TextTable::new(header);
     let mut peak_positions = Vec::new();
     let mut all_series: Vec<Vec<(f64, f64)>> = Vec::new();
-    for wl in workloads(quick) {
+    let wls = workloads(quick);
+    for wl in &wls {
         let mut row = vec![if wl.w > 0 { wl.w.to_string() } else { "quick".into() }];
         let mut diffs = Vec::new();
         for &x in &xs {
-            let ngp = run_workload(&wl, Scheme::ngp_static(x), p, cost, false);
-            let gp = run_workload(&wl, Scheme::gp_static(x), p, cost, false);
+            let ngp = run_workload(wl, Scheme::ngp_static(x), p, cost, false);
+            let gp = run_workload(wl, Scheme::gp_static(x), p, cost, false);
             let d = ngp.report.n_lb as i64 - gp.report.n_lb as i64;
             diffs.push(d);
             row.push(d.to_string());
@@ -102,7 +106,7 @@ fn fig3(quick: bool) {
         "static threshold x",
         "difference in balancing phases",
     );
-    for (series, wl) in all_series.into_iter().zip(workloads(quick)) {
+    for (series, wl) in all_series.into_iter().zip(&wls) {
         let label = if wl.w > 0 { format!("W = {}", wl.w) } else { "quick".to_string() };
         chart.add(uts_viz::Series::line(label, series));
     }
@@ -127,15 +131,29 @@ const FIG7_SCHEMES: [SchemeEntry; 4] = [
     ("nGP-D^P", Scheme::ngp_dp),
 ];
 
+/// A calibrated (P, W) sweep grid: machine-size ladder plus synthetic
+/// trees whose serial W was measured once, up front. Figs. 4 and 7 share
+/// one of these so no tree is ever calibrated (or its serial W
+/// re-measured) twice.
+struct Calibration {
+    grid: sweep::SweepGrid,
+    trees: Vec<uts_synth::SizedTree>,
+}
+
+fn calibration(quick: bool) -> Calibration {
+    let grid = if quick { sweep::SweepGrid::quick() } else { sweep::SweepGrid::full() };
+    let trees = sweep::calibrated_trees(&grid);
+    Calibration { grid, trees }
+}
+
 /// Figs. 4 & 7 share the same machinery: sweep (P, W), extract
 /// equal-efficiency contours, print W against P log2 P plus a power-law
 /// exponent (1.0 = the O(P log P) shape of Fig. 4a).
-fn iso_figure(title: &str, schemes: &[SchemeEntry], quick: bool) {
+fn iso_figure(title: &str, schemes: &[SchemeEntry], quick: bool, cal: &Calibration) {
     println!("== {title} ==\n");
     let mut chart = uts_viz::Chart::new(title, "P log2 P", "W (equal-efficiency contours)");
     chart.x_scale(uts_viz::Scale::Log10).y_scale(uts_viz::Scale::Log10);
-    let grid = if quick { sweep::SweepGrid::quick() } else { sweep::SweepGrid::full() };
-    let trees = sweep::calibrated_trees(&grid);
+    let Calibration { grid, trees } = cal;
     println!(
         "grid: P = {:?}, tree sizes = {:?}\n",
         grid.ps,
@@ -144,7 +162,7 @@ fn iso_figure(title: &str, schemes: &[SchemeEntry], quick: bool) {
     let levels = if quick { vec![0.45, 0.60] } else { vec![0.45, 0.55, 0.65, 0.75] };
     std::fs::create_dir_all("results").ok();
     for (name, mk) in schemes {
-        let samples = sweep::sweep_scheme(mk(), &grid, &trees, CostModel::cm2());
+        let samples = sweep::sweep_scheme(mk(), grid, trees, CostModel::cm2());
         println!("series {name}: (P, W, E) samples");
         for s in &samples {
             println!("  {},{},{:.4}", s.p, s.w, s.e);
@@ -205,19 +223,21 @@ fn yn(ok: bool) -> &'static str {
     }
 }
 
-fn fig4(quick: bool) {
+fn fig4(quick: bool, cal: &Calibration) {
     iso_figure(
         "Fig. 4: experimental isoefficiency curves, static triggering",
         &FIG4_SCHEMES,
         quick,
+        cal,
     );
 }
 
-fn fig7(quick: bool) {
+fn fig7(quick: bool, cal: &Calibration) {
     iso_figure(
         "Fig. 7: experimental isoefficiency curves, dynamic triggering",
         &FIG7_SCHEMES,
         quick,
+        cal,
     );
 }
 
@@ -240,14 +260,18 @@ fn fig8(quick: bool) {
         for (name, scheme) in [("GP-D^P", Scheme::gp_dp()), ("GP-D^K", Scheme::gp_dk())] {
             let cost = CostModel::cm2().with_lb_multiplier(mult);
             let out = run_workload(&wl, scheme, p, cost, true);
+            // The trace is run-length encoded (long stretches of constant
+            // A); summary stats come from the runs, the CSV from the
+            // per-cycle expansion.
             let trace = &out.report.active_trace;
-            let stride = (trace.len() / 60).max(1);
+            let cycles = trace.len();
+            let stride = (cycles / 60).max(1) as usize;
             let series: Vec<String> = trace.iter().step_by(stride).map(|a| a.to_string()).collect();
-            let mean = trace.iter().map(|&a| a as f64).sum::<f64>() / trace.len().max(1) as f64;
-            let min = trace.iter().copied().min().unwrap_or(0);
+            let mean = trace.runs().map(|(_, n, a)| n as f64 * a as f64).sum::<f64>()
+                / cycles.max(1) as f64;
+            let min = trace.runs().map(|(_, _, a)| a).min().unwrap_or(0);
             println!(
-                "{name} ({label}): cycles={} Nlb={} transfers={} E={:.2} mean A={:.0} min A={min}",
-                trace.len(),
+                "{name} ({label}): cycles={cycles} Nlb={} transfers={} E={:.2} mean A={:.0} min A={min}",
                 out.report.n_lb,
                 out.report.n_transfers,
                 out.report.efficiency,
@@ -256,13 +280,17 @@ fn fig8(quick: bool) {
             println!("  A(t) every {stride} cycles: {}", series.join(","));
             std::fs::create_dir_all("results").ok();
             let safe = format!("results/fig8_{}_{}x.csv", name.replace('^', ""), mult);
-            if std::fs::write(&safe, uts_analysis::csv::trace_csv(trace)).is_ok() {
+            if std::fs::write(&safe, uts_analysis::csv::trace_csv(trace.iter())).is_ok() {
                 println!("  [full trace written to {safe}]");
             }
-            chart.add(uts_viz::Series::line(
-                name,
-                trace.iter().enumerate().map(|(i, &a)| (i as f64, a as f64)).collect(),
-            ));
+            // One point per run endpoint draws the exact same staircase as
+            // the per-cycle point cloud at a fraction of the SVG size.
+            let mut pts: Vec<(f64, f64)> = Vec::new();
+            for (start, n, a) in trace.runs() {
+                pts.push((start as f64, a as f64));
+                pts.push(((start + n - 1) as f64, a as f64));
+            }
+            chart.add(uts_viz::Series::line(name, pts));
         }
         write_svg(&format!("results/fig8_{mult}x.svg"), &chart);
         println!();

@@ -11,13 +11,15 @@
 //! The engine is cycle-quantized: one expansion cycle = every processor
 //! with a non-empty stack pops and expands exactly one node.
 //!
-//! **Hot path.** The loop below is the allocation-steady-state *fused*
+//! **Hot path.** [`run_fused`] below is the allocation-steady-state *fused*
 //! pipeline: expansion and census run as one pass over a dense sorted list
 //! of active processor indices; idle PEs are never visited (the idle set is
 //! exactly the list's complement, and rendezvous matching only ever needs
 //! its first `min(A, I)` members); work transfers and frame pushes recycle
-//! pooled vectors instead of allocating. The lockstep schedule it produces
-//! is bit-identical to the straightforward two-sweep loop kept in
+//! pooled vectors instead of allocating. The default engine,
+//! [`crate::macrostep::run`], goes one step further and batches the search
+//! phase between trigger checkpoints. Both produce a lockstep schedule
+//! bit-identical to the straightforward two-sweep loop kept in
 //! [`crate::reference`] (enforced by property tests). See DESIGN.md §6,
 //! "Engine hot path".
 
@@ -52,6 +54,10 @@ pub struct EngineConfig {
     pub stop_on_goal: bool,
     /// Safety valve for tests: abort after this many expansion cycles.
     pub max_cycles: Option<u64>,
+    /// Record every macro-step the macro engine takes
+    /// ([`Outcome::macro_steps`]); ignored by the fused and reference
+    /// engines. For horizon-soundness diagnostics and tests.
+    pub record_horizons: bool,
 }
 
 impl EngineConfig {
@@ -68,12 +74,19 @@ impl EngineConfig {
             record_trace: false,
             stop_on_goal: false,
             max_cycles: None,
+            record_horizons: false,
         }
     }
 
     /// Builder: enable the Fig. 8 active trace.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Builder: record the macro engine's event-horizon steps.
+    pub fn with_horizon_log(mut self) -> Self {
+        self.record_horizons = true;
         self
     }
 
@@ -107,6 +120,24 @@ pub struct Outcome {
     /// Frye–Myczkowski variant precisely because its memory requirements
     /// "become unbounded"; this makes the quantity observable.)
     pub peak_stack_nodes: usize,
+    /// The macro engine's event-horizon steps, recorded only when
+    /// [`EngineConfig::record_horizons`] is set (empty otherwise, and
+    /// always empty for the fused and reference engines).
+    pub macro_steps: Vec<MacroStep>,
+}
+
+/// One event-horizon macro-step taken by [`crate::macrostep::run`]: at
+/// `start_cycle` the engine proved the trigger cannot (effectively) fire
+/// for `horizon` cycles and ran `ran` consecutive expansion cycles without
+/// a checkpoint (`ran < horizon` only when the whole ensemble drained).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MacroStep {
+    /// `N_expand` when the step began.
+    pub start_cycle: u64,
+    /// The proved lower bound on cycles until the trigger could fire.
+    pub horizon: u64,
+    /// Expansion cycles actually executed in the step.
+    pub ran: u64,
 }
 
 impl Outcome {
@@ -118,8 +149,11 @@ impl Outcome {
     }
 }
 
-/// Run `problem` to exhaustion (or first goal) under `cfg`.
-pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+/// Run `problem` to exhaustion (or first goal) under `cfg`, checking the
+/// trigger after every cycle (the PR 1 fused pipeline). Kept as the
+/// single-cycle baseline the macro engine is benchmarked against; new code
+/// should call [`crate::macrostep::run`].
+pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
     let mut machine = SimdMachine::new(cfg.p, cfg.cost);
     machine.record_active_trace(cfg.record_trace);
@@ -327,17 +361,17 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     }
 
     let report = machine_report(machine);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes }
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps: Vec::new() }
 }
 
-fn machine_report(machine: SimdMachine) -> Report {
+pub(crate) fn machine_report(machine: SimdMachine) -> Report {
     let w = machine.metrics().nodes_expanded;
     machine.finish(w)
 }
 
 /// Pack the busy enumeration (ascending) from the dense active list: busy
 /// implies active, so this is O(A) where a flag sweep would be O(P).
-fn pack_busy(active: &[usize], busy_flags: &[bool], out: &mut Vec<usize>) {
+pub(crate) fn pack_busy(active: &[usize], busy_flags: &[bool], out: &mut Vec<usize>) {
     out.clear();
     out.extend(active.iter().copied().filter(|&i| busy_flags[i]));
 }
@@ -346,7 +380,7 @@ fn pack_busy(active: &[usize], busy_flags: &[bool], out: &mut Vec<usize>) {
 /// active list. Only the matched prefix is ever materialized (idle PEs are
 /// fed in plain index order, Fig. 2), so the walk stops as soon as `need`
 /// gaps are found, typically long before index P.
-fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mut Vec<usize>) {
+pub(crate) fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mut Vec<usize>) {
     out.clear();
     let mut next_active = 0usize;
     let mut i = 0usize;
@@ -377,7 +411,7 @@ fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 /// must (re)join the active list. Transfers run through
 /// [`SearchStack::split_into`], which recycles frame vectors on both sides
 /// instead of allocating a fresh stack per donation.
-fn apply_pairs<N>(
+pub(crate) fn apply_pairs<N>(
     pes: &mut [SearchStack<N>],
     pairs: &[Pair],
     split: SplitPolicy,
@@ -410,7 +444,11 @@ fn apply_pairs<N>(
 
 /// Merge `incoming` (PEs just fed by transfers; disjoint from `active`)
 /// into the sorted active list, reusing `buf` as the merge target.
-fn merge_active(active: &mut Vec<usize>, incoming: &mut Vec<usize>, buf: &mut Vec<usize>) {
+pub(crate) fn merge_active(
+    active: &mut Vec<usize>,
+    incoming: &mut Vec<usize>,
+    buf: &mut Vec<usize>,
+) {
     if incoming.is_empty() {
         return;
     }
@@ -439,7 +477,11 @@ fn merge_active(active: &mut Vec<usize>, incoming: &mut Vec<usize>, buf: &mut Ve
 /// to the poorest PEs until counts are within 1 of uniform (or progress
 /// stops). Returns the number of transfer rounds. Donated chunks keep their
 /// frame structure ([`SearchStack::merge_from`]); see DESIGN.md.
-fn equalize<N>(pes: &mut [SearchStack<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
+pub(crate) fn equalize<N>(
+    pes: &mut [SearchStack<N>],
+    transfers: &mut u64,
+    donations: &mut [u32],
+) -> u32 {
     let p = pes.len();
     let total: usize = pes.iter().map(SearchStack::len).sum();
     let target = total.div_ceil(p);
@@ -478,6 +520,10 @@ fn equalize<N>(pes: &mut [SearchStack<N>], transfers: &mut u64, donations: &mut 
 #[cfg(test)]
 mod tests {
     use super::*;
+    // Behavioral tests drive the default (macro) engine; the fused loop is
+    // covered by the smoke test below and the cross-engine equivalence
+    // suite in `tests/engine_equivalence.rs`.
+    use crate::macrostep::run;
     use crate::scheme::Scheme;
     use uts_machine::CostModel;
     use uts_synth::{BinomialTree, GeometricTree};
@@ -578,9 +624,9 @@ mod tests {
         let tree = geo(4);
         let cfg = EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()).with_trace();
         let out = run(&tree, &cfg);
-        assert_eq!(out.report.active_trace.len() as u64, out.report.n_expand);
+        assert_eq!(out.report.active_trace.len(), out.report.n_expand);
         // Trace entries never exceed P.
-        assert!(out.report.active_trace.iter().all(|&a| a <= 32));
+        assert!(out.report.active_trace.iter().all(|a| a <= 32));
     }
 
     #[test]
@@ -659,6 +705,16 @@ mod tests {
             let total: u64 = out.donations.iter().map(|&d| d as u64).sum();
             assert_eq!(total, out.report.n_transfers, "{}", scheme.name());
         }
+    }
+
+    #[test]
+    fn fused_engine_still_runs_the_full_space() {
+        let tree = geo(2);
+        let w = serial_dfs(&tree).expanded;
+        let out = run_fused(&tree, &EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()));
+        assert!(!out.truncated);
+        assert_eq!(out.report.nodes_expanded, w);
+        assert!(out.macro_steps.is_empty(), "fused engine takes no macro-steps");
     }
 
     #[test]

@@ -40,13 +40,15 @@
 //! ```
 
 pub mod engine;
+pub mod macrostep;
 pub mod matcher;
 pub mod nn;
 pub mod reference;
 pub mod scheme;
 pub mod trigger;
 
-pub use engine::{run, EngineConfig, Outcome};
+pub use engine::{run_fused, EngineConfig, MacroStep, Outcome};
+pub use macrostep::run;
 pub use matcher::MatchState;
 pub use reference::run_reference;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};

@@ -1,0 +1,403 @@
+//! Event-horizon macro-cycles: batch the search phase between trigger
+//! checkpoints.
+//!
+//! The fused engine ([`crate::engine::run_fused`]) still pays a full
+//! checkpoint — census, trigger evaluation, machine accounting — after
+//! *every* expansion cycle, even though for most cycles the trigger
+//! provably cannot fire. All three trigger families are pure functions of
+//! the active-count step trace `A(t)`, and `A(t)` can only fall between
+//! balancing phases (a PE whose stack holds `s` nodes cannot go idle for
+//! at least `s` cycles). [`crate::trigger::safe_horizon`] turns the stack
+//! size distribution into a sound lower bound `H >= 1` on the number of
+//! cycles before the trigger could possibly fire *effectively* (a fire
+//! with no splittable or no idle PE performs no work transfer and leaves
+//! no trace in the schedule, so it does not need a checkpoint either).
+//!
+//! The macro engine exploits this: before each batch it computes `H`, then
+//! runs every active PE's DFS in a tight per-PE inner loop
+//! ([`uts_tree::SearchStack::expand_burst`]) for `min(H, cycles-to-empty)`
+//! consecutive expansions. Each PE's whole burst runs on a cache-hot
+//! stack, and the lockstep census/accounting for the batch is
+//! reconstructed *exactly* from the per-PE empty-times: a PE that drained
+//! after `e` cycles worked cycles `1..=e` of the batch, so sorting the
+//! (few) death events yields the per-cycle worked counts as a handful of
+//! constant runs ([`uts_machine::SimdMachine::expansion_cycles_run`]).
+//! `N_expand`, `N_lb`, `T_idle`, the active trace, goal counts, donation
+//! counts and the phase log all stay bit-identical to
+//! [`crate::reference::run_reference`] (enforced by the equivalence and
+//! horizon-soundness suites under `tests/`).
+//!
+//! The horizon computation needs the stack-size distribution (`count_ge`),
+//! which is built lazily: a checkpoint that cannot batch anyway (init
+//! phase, `stop_on_goal`) never looks at it, and any other checkpoint
+//! rebuilds it with one O(A) sweep whose cost is amortized by the cycles
+//! the resulting horizon buys. When the horizon degenerates to a single
+//! cycle, the step runs through a fast path identical to the fused
+//! engine's pass, so a run with no batching opportunity (e.g. a machine
+//! far larger than the tree, where the trigger fires after every cycle)
+//! costs the same as the fused engine.
+
+use uts_machine::SimdMachine;
+use uts_scan::{MatchScratch, Pair};
+use uts_tree::{SearchStack, TreeProblem};
+
+use crate::engine::{
+    apply_pairs, equalize, machine_report, merge_active, pack_busy, pack_idle_prefix, EngineConfig,
+    MacroStep, Outcome,
+};
+use crate::matcher::MatchState;
+use crate::scheme::TransferMode;
+use crate::trigger::{horizon_exceeds_one, safe_horizon, should_balance, HorizonCtx, TriggerCtx};
+
+/// Run `problem` to exhaustion (or first goal) under `cfg` using
+/// event-horizon macro-steps. This is the default engine; its schedule is
+/// bit-identical to [`crate::reference::run_reference`].
+pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    assert!(cfg.p > 0, "need at least one processor");
+    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+    machine.record_active_trace(cfg.record_trace);
+    let mut matcher = MatchState::new(cfg.scheme.matching);
+
+    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
+    pes[0] = SearchStack::from_root(problem.root());
+
+    let mut goals = 0u64;
+    let mut truncated = false;
+    let mut donations = vec![0u32; cfg.p];
+    let mut peak_stack_nodes = 1usize;
+    let mut in_init = cfg.init_fraction.is_some();
+
+    // Dense sorted active list + splittable flags, exactly as in the fused
+    // engine (see `engine.rs` for the invariants).
+    let mut active: Vec<usize> = vec![0];
+    let mut busy_flags = vec![false; cfg.p];
+
+    // Stack-size histogram over the *active* PEs (`size_hist[s]` = number
+    // of active PEs whose stack holds `s` nodes), rebuilt on demand at
+    // each checkpoint that computes a horizon.
+    let mut size_hist: Vec<u32> = Vec::new();
+    let mut count_ge: Vec<u32> = Vec::new();
+
+    let mut scratch = MatchScratch::default();
+    let mut pairs: Vec<Pair> = Vec::new();
+    let mut incoming: Vec<usize> = Vec::new();
+    let mut merge_buf: Vec<usize> = Vec::new();
+    // Burst lengths of PEs that drained mid-batch (usually empty or tiny).
+    let mut death_cycles: Vec<u64> = Vec::new();
+    let mut macro_steps: Vec<MacroStep> = Vec::new();
+
+    loop {
+        // ---- event horizon ----
+        // `stop_on_goal` must observe goals cycle-by-cycle, and the init
+        // phase balances after every cycle by construction; both degrade
+        // gracefully to single-cycle steps.
+        let mut h = if in_init
+            || cfg.stop_on_goal
+            || !horizon_exceeds_one(
+                cfg.scheme.trigger,
+                cfg.p,
+                active.len(),
+                machine.phase(),
+                cfg.cost.u_calc,
+                machine.estimated_lb_cost(),
+            ) {
+            1
+        } else {
+            rebuild_hist(&pes, &active, &mut size_hist);
+            build_count_ge(&size_hist, &mut count_ge);
+            let hctx = HorizonCtx {
+                p: cfg.p,
+                active: active.len(),
+                count_ge: &count_ge,
+                phase: *machine.phase(),
+                u_calc: cfg.cost.u_calc,
+                l_estimate: machine.estimated_lb_cost(),
+            };
+            safe_horizon(cfg.scheme.trigger, &hctx)
+        };
+        if let Some(m) = cfg.max_cycles {
+            // Stop exactly at the budget (the reference overshoots a
+            // zero/exceeded budget by the one cycle it always runs; so do
+            // we, via the `.max(1)`).
+            h = h.min(m.saturating_sub(machine.metrics().n_expand)).max(1);
+        }
+
+        let started = active.len();
+        let start_cycle = machine.metrics().n_expand;
+        let mut kept = 0usize;
+        let mut busy_count = 0usize;
+        let ran;
+        if h == 1 {
+            // ---- single-cycle fast path (the fused engine's pass) ----
+            // A one-cycle step batches nothing; running it through the
+            // burst machinery would only add overhead, so this arm is kept
+            // instruction-for-instruction equal to `run_fused`'s hot loop.
+            for scan in 0..started {
+                let i = active[scan];
+                let stack = &mut pes[i];
+                let node = stack.pop_next().expect("active PEs hold work");
+                if problem.is_goal(&node) {
+                    goals += 1;
+                }
+                stack.push_frame_with(|frame| problem.expand(&node, frame));
+                let len = stack.len();
+                if len == 0 {
+                    // Exhausted: a PE that empties was not splittable, so
+                    // its busy flag is already false.
+                    debug_assert!(!busy_flags[i]);
+                } else {
+                    busy_flags[i] = len >= 2;
+                    busy_count += (len >= 2) as usize;
+                    peak_stack_nodes = peak_stack_nodes.max(len);
+                    active[kept] = i;
+                    kept += 1;
+                }
+            }
+            active.truncate(kept);
+            machine.expansion_cycle(started);
+            ran = 1;
+        } else {
+            // ---- macro-step: one tight DFS burst per active PE ----
+            death_cycles.clear();
+            for scan in 0..started {
+                let i = active[scan];
+                let stack = &mut pes[i];
+                let burst = stack.expand_burst(problem, h);
+                goals += burst.goals;
+                peak_stack_nodes = peak_stack_nodes.max(burst.peak);
+                let s1 = stack.len();
+                if s1 == 0 {
+                    busy_flags[i] = false;
+                    death_cycles.push(burst.expanded);
+                } else {
+                    busy_flags[i] = s1 >= 2;
+                    busy_count += (s1 >= 2) as usize;
+                    active[kept] = i;
+                    kept += 1;
+                }
+            }
+            active.truncate(kept);
+
+            // ---- reconstruct the lockstep schedule from the deaths ----
+            // A PE that drained after `e` expansions worked cycles `1..=e`
+            // of the batch; survivors worked all of them. So worked(j) is a
+            // step function dropping at each distinct death time, and the
+            // batch ends at `h` if anyone survived, else at the last death.
+            death_cycles.sort_unstable();
+            ran = if kept > 0 { h } else { *death_cycles.last().expect("had active PEs") };
+            let mut alive = started;
+            let mut prev = 0u64;
+            let mut d = 0usize;
+            while d < death_cycles.len() {
+                let e = death_cycles[d];
+                machine.expansion_cycles_run(alive, e - prev);
+                prev = e;
+                while d < death_cycles.len() && death_cycles[d] == e {
+                    d += 1;
+                    alive -= 1;
+                }
+            }
+            machine.expansion_cycles_run(alive, ran - prev);
+        }
+        if cfg.record_horizons {
+            macro_steps.push(MacroStep { start_cycle, horizon: h, ran });
+        }
+
+        // ---- checkpoint (identical order to the reference loop) ----
+        if cfg.stop_on_goal && goals > 0 {
+            break;
+        }
+        if cfg.max_cycles.is_some_and(|m| machine.metrics().n_expand >= m) {
+            truncated = true;
+            break;
+        }
+        if active.is_empty() {
+            break; // space exhausted
+        }
+
+        let has_work = active.len();
+        let busy = busy_count;
+        let idle = cfg.p - has_work;
+
+        let fire = if in_init {
+            let threshold = cfg.init_fraction.unwrap();
+            if (has_work as f64) >= threshold * cfg.p as f64 {
+                in_init = false;
+                false
+            } else {
+                true
+            }
+        } else {
+            let ctx = TriggerCtx {
+                p: cfg.p,
+                busy,
+                idle,
+                phase: *machine.phase(),
+                u_calc: cfg.cost.u_calc,
+                l_estimate: machine.estimated_lb_cost(),
+            };
+            should_balance(cfg.scheme.trigger, &ctx)
+        };
+        if !fire || busy == 0 || idle == 0 {
+            continue;
+        }
+
+        // ---- load-balancing phase (shared with the fused engine) ----
+        let mut rounds = 0u32;
+        let mut transfers = 0u64;
+        match cfg.scheme.transfers {
+            TransferMode::Single => {
+                pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
+                let need = scratch.packed_busy.len().min(cfg.p - active.len());
+                pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
+                matcher.match_round_packed(
+                    cfg.p,
+                    &scratch.packed_busy,
+                    &scratch.packed_idle,
+                    &mut pairs,
+                );
+                transfers += apply_pairs(
+                    &mut pes,
+                    &pairs,
+                    cfg.split,
+                    &mut donations,
+                    &mut busy_flags,
+                    &mut busy_count,
+                    &mut incoming,
+                );
+                merge_active(&mut active, &mut incoming, &mut merge_buf);
+                rounds = 1;
+            }
+            TransferMode::Multiple => {
+                let mut idle_left = idle;
+                loop {
+                    if busy_count == 0 || idle_left == 0 {
+                        break;
+                    }
+                    pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
+                    let need = scratch.packed_busy.len().min(idle_left);
+                    pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
+                    matcher.match_round_packed(
+                        cfg.p,
+                        &scratch.packed_busy,
+                        &scratch.packed_idle,
+                        &mut pairs,
+                    );
+                    if pairs.is_empty() {
+                        break;
+                    }
+                    let done = apply_pairs(
+                        &mut pes,
+                        &pairs,
+                        cfg.split,
+                        &mut donations,
+                        &mut busy_flags,
+                        &mut busy_count,
+                        &mut incoming,
+                    );
+                    merge_active(&mut active, &mut incoming, &mut merge_buf);
+                    idle_left -= done as usize;
+                    transfers += done;
+                    rounds += 1;
+                }
+            }
+            TransferMode::Equalize => {
+                // FEGS touches arbitrary PEs; rebuild the active list and
+                // flags wholesale, as the fused engine does.
+                rounds = equalize(&mut pes, &mut transfers, &mut donations);
+                active.clear();
+                for (i, stack) in pes.iter().enumerate() {
+                    let len = stack.len();
+                    busy_flags[i] = len >= 2;
+                    if len > 0 {
+                        active.push(i);
+                    }
+                }
+            }
+        }
+        if rounds > 0 {
+            machine.lb_phase(rounds, transfers);
+        }
+    }
+
+    let report = machine_report(machine);
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps }
+}
+
+/// Rebuild the stack-size histogram over the active PEs: one O(A) sweep,
+/// run only at checkpoints that go on to compute a horizon.
+fn rebuild_hist<N>(pes: &[uts_tree::SearchStack<N>], active: &[usize], hist: &mut Vec<u32>) {
+    hist.clear();
+    for &i in active {
+        let s = pes[i].len();
+        if s >= hist.len() {
+            hist.resize(s + 1, 0);
+        }
+        hist[s] += 1;
+    }
+}
+
+/// Suffix-sum the histogram into `count_ge[t]` = #active PEs with stack
+/// size >= t. O(max stack size), no pointer chasing.
+fn build_count_ge(hist: &[u32], out: &mut Vec<u32>) {
+    out.clear();
+    out.resize(hist.len() + 1, 0);
+    let mut acc = 0u32;
+    for t in (0..hist.len()).rev() {
+        acc += hist[t];
+        out[t] = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use uts_machine::CostModel;
+    use uts_synth::GeometricTree;
+    use uts_tree::serial_dfs;
+
+    #[test]
+    fn count_ge_is_the_suffix_sum() {
+        let mut out = Vec::new();
+        build_count_ge(&[0, 2, 0, 1], &mut out);
+        assert_eq!(out, vec![3, 3, 1, 1, 0]);
+        build_count_ge(&[], &mut out);
+        assert_eq!(out, vec![0]);
+    }
+
+    #[test]
+    fn macro_steps_partition_the_run() {
+        let tree = GeometricTree { seed: 9, b_max: 8, depth_limit: 6 };
+        for scheme in [Scheme::gp_dk(), Scheme::gp_static(0.75), Scheme::fegs()] {
+            let cfg = EngineConfig::new(64, scheme, CostModel::cm2()).with_horizon_log();
+            let out = run(&tree, &cfg);
+            assert!(!out.macro_steps.is_empty());
+            let mut cursor = 0u64;
+            for step in &out.macro_steps {
+                assert_eq!(step.start_cycle, cursor, "{}", scheme.name());
+                assert!(step.ran >= 1 && step.ran <= step.horizon);
+                cursor += step.ran;
+            }
+            assert_eq!(cursor, out.report.n_expand, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn horizon_batching_actually_batches() {
+        // Sanity that the tentpole does something: on a serial run (P=1)
+        // the horizon is the stack size, so macro-steps must be far fewer
+        // than cycles.
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 6 };
+        let w = serial_dfs(&tree).expanded;
+        let cfg = EngineConfig::new(1, Scheme::gp_dk(), CostModel::cm2()).with_horizon_log();
+        let out = run(&tree, &cfg);
+        assert_eq!(out.report.n_expand, w);
+        assert!(
+            (out.macro_steps.len() as u64) * 2 < w,
+            "{} steps for {} cycles",
+            out.macro_steps.len(),
+            w
+        );
+    }
+}

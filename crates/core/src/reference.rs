@@ -161,7 +161,7 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
 
     let w = machine.metrics().nodes_expanded;
     let report = machine.finish(w);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes }
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps: Vec::new() }
 }
 
 fn step_pe<P: TreeProblem>(problem: &P, pe: &mut Pe<P::Node>) -> CycleResult {

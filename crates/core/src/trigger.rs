@@ -4,6 +4,12 @@
 //! counters and the current busy count; they are evaluated after every
 //! expansion cycle (and, per Sec. 2.1, at least one cycle always runs
 //! between balancing phases — the engine guarantees that by construction).
+//!
+//! [`safe_horizon`] inverts that evaluation: given the stack-size
+//! distribution at a checkpoint, it returns a sound lower bound on how
+//! many cycles can run before the trigger could possibly cause a
+//! balancing phase, which lets the engine batch the search phase into
+//! macro-steps (see DESIGN.md §6).
 
 use uts_machine::{PhaseStats, SimTime};
 
@@ -48,6 +54,181 @@ pub fn should_balance(trigger: Trigger, ctx: &TriggerCtx) -> bool {
         // FESS/FEGS: any processor idle.
         Trigger::AnyIdle => ctx.idle > 0,
     }
+}
+
+/// Cap on any computed horizon: bounds the `safe_horizon` loops (the cost
+/// of computing a horizon of `H` is O(H), amortized by the `H` cycles it
+/// buys) and keeps a degenerate trigger from scanning forever.
+pub const HORIZON_CAP: u64 = 1 << 20;
+
+/// O(1) precheck: can [`safe_horizon`] possibly return more than 1 at this
+/// checkpoint? Obtained by relaxing the stack-size distribution to its
+/// pointwise upper bound `cg(t) = active` (as if no stack could ever
+/// drain), which only lengthens every per-trigger bound — so a `false`
+/// here means `safe_horizon` would return exactly 1 for *any* consistent
+/// `count_ge`, and the caller can skip building the histogram for a step
+/// that cannot batch. `true` promises nothing.
+pub fn horizon_exceeds_one(
+    trigger: Trigger,
+    p: usize,
+    active: usize,
+    phase: &PhaseStats,
+    u_calc: SimTime,
+    l_estimate: SimTime,
+) -> bool {
+    if active == p {
+        // Relaxed min-stack is unbounded, so the all-non-empty window
+        // alone may cover cycle 1.
+        return true;
+    }
+    let u = u_calc as u128;
+    match trigger {
+        // Safe at k=1 needs cg(4) > x·P; relaxed cg(4) = active.
+        Trigger::Static { x } => active as f64 > x * p as f64,
+        // Safe at j=1 needs w_ub < cg(3)·((c0+1)·u + L); relaxed cg(3) =
+        // active (the same `a0` that bounds the work side).
+        Trigger::Dp => {
+            let w0 = phase.busy_pe_cycles as u128;
+            let c0 = phase.cycles as u128;
+            let a0 = active as u128;
+            (w0 + a0) * u < a0 * ((c0 + 1) * u + l_estimate as u128)
+        }
+        // The j=1 idle increment is exact (`cg(1) == active`), so this is
+        // the same test `safe_horizon` performs.
+        Trigger::Dk => {
+            let idle1 = phase.idle_pe_cycles as u128 + (p - active) as u128;
+            idle1 * u < l_estimate as u128 * p as u128
+        }
+        // FESS/FEGS fire whenever anyone is idle, and someone is.
+        Trigger::AnyIdle => false,
+    }
+}
+
+/// What the event-horizon computation may look at, sampled at a trigger
+/// checkpoint (immediately after trigger evaluation / balancing).
+#[derive(Debug, Clone, Copy)]
+pub struct HorizonCtx<'a> {
+    /// Ensemble size `P`.
+    pub p: usize,
+    /// Processors with non-empty stacks (`A(t)` of Fig. 8).
+    pub active: usize,
+    /// Complementary cumulative histogram of active-PE stack sizes:
+    /// `count_ge[t]` = number of active PEs holding `>= t` nodes, so
+    /// `count_ge[0] == active`; indices past the slice are zero.
+    pub count_ge: &'a [u32],
+    /// Phase-local counters at the checkpoint.
+    pub phase: PhaseStats,
+    /// `U_calc` in virtual time units.
+    pub u_calc: SimTime,
+    /// Estimated cost `L` of the next balancing phase.
+    pub l_estimate: SimTime,
+}
+
+impl HorizonCtx<'_> {
+    /// `count_ge[t]` with out-of-range indices reading as zero.
+    #[inline]
+    fn cg(&self, t: u64) -> u64 {
+        if (t as usize) < self.count_ge.len() {
+            self.count_ge[t as usize] as u64
+        } else {
+            0
+        }
+    }
+
+    /// The smallest stack size among active PEs: the largest `t` with
+    /// `count_ge[t] == active`. Every PE holds at least `min_s` nodes, so
+    /// none can empty before cycle `min_s`.
+    fn min_stack(&self) -> u64 {
+        let a = self.active as u64;
+        let mut t = 0u64;
+        while t < HORIZON_CAP && self.cg(t + 1) == a {
+            t += 1;
+        }
+        t
+    }
+}
+
+/// A sound lower bound `H >= 1` on the number of expansion cycles that can
+/// run from this checkpoint before `trigger` could cause a balancing
+/// phase: for every `k < H`, the trigger provably either does not fire at
+/// checkpoint `k` or fires ineffectively (a fire with `busy == 0` or
+/// `idle == 0` transfers nothing and touches no state, so the engine's
+/// schedule is unchanged by not evaluating it).
+///
+/// Soundness rests on one monotone fact: each cycle pops exactly one node
+/// per working PE, so a stack of size `s` still holds `>= s - k` nodes
+/// after `k` cycles. Writing `cg(t)` for `count_ge[t]`:
+///
+/// * `busy(k) >= cg(k + 2)` — PEs still splittable after `k` cycles;
+/// * `worked(j) <= active` and `worked(j) >= cg(j)` — bounds on the PEs
+///   expanding at cycle `j <= k`;
+/// * if `active == P`, then `idle(k) == 0` for all `k < min_s` — no
+///   trigger can *effectively* fire while nobody is idle.
+///
+/// Each trigger's exact integer comparison is then evaluated against the
+/// pessimistic bound; the horizon is the longest consecutive prefix of
+/// provably-safe cycles, plus one (the next checkpoint is where the
+/// engine re-evaluates exactly).
+pub fn safe_horizon(trigger: Trigger, ctx: &HorizonCtx) -> u64 {
+    debug_assert!(ctx.active > 0, "horizon is asked only while the search is live");
+    debug_assert_eq!(ctx.cg(0), ctx.active as u64, "count_ge[0] must be the active count");
+    // Cycles k <= all_nonempty_safe are safe because nobody can be idle.
+    let all_nonempty_safe = if ctx.active == ctx.p { ctx.min_stack().saturating_sub(1) } else { 0 };
+    let safe_k = match trigger {
+        // Eq. (1) does not fire while busy > x·P; busy(k) >= cg(k+2).
+        Trigger::Static { x } => {
+            let xp = x * ctx.p as f64;
+            let mut k = 0u64;
+            while k < HORIZON_CAP && (ctx.cg(k + 3) as f64) > xp {
+                k += 1;
+            }
+            k.max(all_nonempty_safe)
+        }
+        // Eq. (2) does not fire while w < A·(t + L). Overestimate the
+        // left side (every active PE works every cycle) and underestimate
+        // the right (A(k) >= cg(k+2), and t grows exactly).
+        Trigger::Dp => {
+            let u = ctx.u_calc as u128;
+            let w0 = ctx.phase.busy_pe_cycles as u128;
+            let c0 = ctx.phase.cycles as u128;
+            let a0 = ctx.active as u128;
+            let l = ctx.l_estimate as u128;
+            let mut k = 0u64;
+            while k < HORIZON_CAP {
+                let j = k + 1;
+                let w_ub = (w0 + j as u128 * a0) * u;
+                let rhs_lb = ctx.cg(j + 2) as u128 * ((c0 + j as u128) * u + l);
+                if w_ub < rhs_lb || j <= all_nonempty_safe {
+                    k = j;
+                } else {
+                    break;
+                }
+            }
+            k
+        }
+        // Eq. (4) does not fire while w_idle < L·P. Idle time gained at
+        // cycle j is P - worked(j) <= P - cg(j).
+        Trigger::Dk => {
+            let u = ctx.u_calc as u128;
+            let lp = ctx.l_estimate as u128 * ctx.p as u128;
+            let mut idle_ub = ctx.phase.idle_pe_cycles as u128;
+            let mut k = 0u64;
+            while k < HORIZON_CAP {
+                let j = k + 1;
+                idle_ub += (ctx.p as u64 - ctx.cg(j)) as u128;
+                if idle_ub * u < lp || j <= all_nonempty_safe {
+                    k = j;
+                } else {
+                    break;
+                }
+            }
+            k
+        }
+        // FESS/FEGS fire whenever anyone is idle; only the all-non-empty
+        // window is safe.
+        Trigger::AnyIdle => all_nonempty_safe,
+    };
+    safe_k.min(HORIZON_CAP) + 1
 }
 
 #[cfg(test)]
@@ -122,5 +303,152 @@ mod tests {
         let phase = PhaseStats::default();
         assert!(!should_balance(Trigger::AnyIdle, &ctx(4, 4, 0, phase, 13)));
         assert!(should_balance(Trigger::AnyIdle, &ctx(4, 3, 1, phase, 13)));
+    }
+
+    /// Build `count_ge` from explicit active-PE stack sizes.
+    fn count_ge_of(sizes: &[u64]) -> Vec<u32> {
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        (0..=max + 1).map(|t| sizes.iter().filter(|&&s| s >= t).count() as u32).collect()
+    }
+
+    fn hctx<'a>(p: usize, count_ge: &'a [u32], phase: PhaseStats, l: SimTime) -> HorizonCtx<'a> {
+        HorizonCtx {
+            p,
+            active: count_ge.first().copied().unwrap_or(0) as usize,
+            count_ge,
+            phase,
+            u_calc: 30,
+            l_estimate: l,
+        }
+    }
+
+    #[test]
+    fn horizon_is_at_least_one_for_every_trigger() {
+        // Worst case: one active PE with one node — no safety margin at all.
+        let cg = count_ge_of(&[1]);
+        let phase = PhaseStats::default();
+        for trigger in [Trigger::Static { x: 0.9 }, Trigger::Dp, Trigger::Dk, Trigger::AnyIdle] {
+            assert_eq!(safe_horizon(trigger, &hctx(8, &cg, phase, 13)), 1, "{trigger:?}");
+        }
+    }
+
+    #[test]
+    fn static_horizon_is_order_statistic_minus_split_margin() {
+        // P=8, x=0.5 (fires at busy <= 4): with 6 active PEs of sizes
+        // [9,9,9,9,9,1], cg(k+2) > 4 holds while k+2 <= 9 and at least 5
+        // stacks reach that size — 5 stacks hold 9, so safe through k=7;
+        // not all-nonempty (active < P), so H = 8.
+        let cg = count_ge_of(&[9, 9, 9, 9, 9, 1]);
+        let h = safe_horizon(Trigger::Static { x: 0.5 }, &hctx(8, &cg, PhaseStats::default(), 13));
+        assert_eq!(h, 8);
+    }
+
+    #[test]
+    fn static_horizon_uses_all_nonempty_window_at_full_occupancy() {
+        // P=4 all active with min stack 6: even though x=1.0 would fire
+        // every cycle, nobody can go idle before cycle 6, so fires are
+        // ineffective through k=5 → H=6.
+        let cg = count_ge_of(&[6, 7, 9, 10]);
+        let h = safe_horizon(Trigger::Static { x: 1.0 }, &hctx(4, &cg, PhaseStats::default(), 13));
+        assert_eq!(h, 6);
+    }
+
+    #[test]
+    fn any_idle_horizon_is_min_stack_at_full_occupancy_else_one() {
+        let cg = count_ge_of(&[3, 5, 8, 4]);
+        assert_eq!(safe_horizon(Trigger::AnyIdle, &hctx(4, &cg, PhaseStats::default(), 13)), 3);
+        // Same sizes but a fifth (idle) processor: fires immediately.
+        assert_eq!(safe_horizon(Trigger::AnyIdle, &hctx(5, &cg, PhaseStats::default(), 13)), 1);
+    }
+
+    #[test]
+    fn dk_horizon_spends_the_idle_budget() {
+        // P=4, u=30, L=120 → DK fires once idle PE-cycles reach
+        // L·P/u = 16. Three active PEs of size 5: cycles 1..=5 gain at
+        // most 1 idle PE-cycle each (cg(j)=3), cycles 6.. gain 4.
+        // idle_ub: 1,2,3,4,5,9,13,17 → first ≥16 at k=8, so safe through
+        // k=7 and H=8.
+        let cg = count_ge_of(&[5, 5, 5]);
+        let h = safe_horizon(Trigger::Dk, &hctx(4, &cg, PhaseStats::default(), 120));
+        assert_eq!(h, 8);
+        // A head start of accumulated idle time shrinks the window:
+        // idle0 = 14 → idle_ub 15,16 → safe only k=1, H=2.
+        let phase = PhaseStats { cycles: 14, busy_pe_cycles: 42, idle_pe_cycles: 14 };
+        assert_eq!(safe_horizon(Trigger::Dk, &hctx(4, &cg, phase, 120)), 2);
+    }
+
+    #[test]
+    fn dp_horizon_single_processor_runs_to_possible_exhaustion() {
+        // Sec. 6.1 pathology: A=1 never actually fires D^P (w = t < t+L).
+        // The bound proves safety as long as the lone stack provably stays
+        // splittable — size 40 at the checkpoint guarantees >= 2 nodes
+        // through cycle 38, so H = 39.
+        let cg = count_ge_of(&[40]);
+        let h = safe_horizon(Trigger::Dp, &hctx(4, &cg, PhaseStats::default(), 13));
+        assert_eq!(h, 39);
+    }
+
+    #[test]
+    fn dp_horizon_waits_while_work_rate_lags() {
+        // P=4, all 4 active with deep stacks (size 50), fresh phase, L=130:
+        // fire needs w >= A·(t+L); w grows 4u per cycle, rhs ≈ 4·(t+L), so
+        // the lag is exactly the L term: safe while 4ju < 4(ju+L), i.e.
+        // forever by that bound alone — but cg(j+2) drops to 0 past j=48,
+        // making rhs_lb 0; the all-nonempty window (min_s=50) still covers
+        // through k=49, so H=50.
+        let cg = count_ge_of(&[50, 50, 50, 50]);
+        let h = safe_horizon(Trigger::Dp, &hctx(4, &cg, PhaseStats::default(), 130));
+        assert_eq!(h, 50);
+    }
+
+    #[test]
+    fn horizons_never_exceed_the_cap() {
+        // Two huge stacks on a fully active 2-PE machine with an enormous
+        // L: every bound would certify far past the cap.
+        let cg = count_ge_of(&[HORIZON_CAP + 9, HORIZON_CAP + 9]);
+        for trigger in [Trigger::Static { x: 0.0 }, Trigger::Dp, Trigger::Dk, Trigger::AnyIdle] {
+            let h = safe_horizon(trigger, &hctx(2, &cg, PhaseStats::default(), u64::MAX >> 32));
+            assert!(h <= HORIZON_CAP + 1, "{trigger:?}: {h}");
+            assert!(h > 1, "{trigger:?} should certify a long window here");
+        }
+    }
+
+    #[test]
+    fn precheck_refusals_are_sound() {
+        // Whenever `horizon_exceeds_one` says no, `safe_horizon` must
+        // return exactly 1 for every stack-size distribution consistent
+        // with that active count — sweep a grid of distributions, phases
+        // and triggers and compare the two on each.
+        let distributions: &[&[u64]] =
+            &[&[1], &[1, 1], &[2, 5], &[9, 9, 9], &[1, 3, 7, 40], &[2, 2, 2, 2, 2, 2]];
+        let phases = [
+            PhaseStats::default(),
+            PhaseStats { cycles: 3, busy_pe_cycles: 11, idle_pe_cycles: 2 },
+            PhaseStats { cycles: 40, busy_pe_cycles: 200, idle_pe_cycles: 350 },
+        ];
+        let triggers = [
+            Trigger::Static { x: 0.25 },
+            Trigger::Static { x: 0.95 },
+            Trigger::Dp,
+            Trigger::Dk,
+            Trigger::AnyIdle,
+        ];
+        for sizes in distributions {
+            let cg = count_ge_of(sizes);
+            for p in [sizes.len(), sizes.len() + 1, 4 * sizes.len()] {
+                for phase in phases {
+                    for trigger in triggers {
+                        let ctx = hctx(p, &cg, phase, 13);
+                        let fast = horizon_exceeds_one(trigger, p, ctx.active, &phase, 30, 13);
+                        let h = safe_horizon(trigger, &ctx);
+                        assert!(
+                            fast || h == 1,
+                            "{trigger:?} p={p} sizes={sizes:?} phase={phase:?}: \
+                             precheck said 1 but horizon is {h}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

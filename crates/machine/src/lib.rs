@@ -22,7 +22,7 @@ pub mod cost;
 pub mod metrics;
 
 pub use cost::{CostModel, Topology};
-pub use metrics::{Metrics, PhaseEvent, PhaseStats};
+pub use metrics::{ActiveTrace, Metrics, PhaseEvent, PhaseStats};
 
 use serde::{Deserialize, Serialize};
 
@@ -125,18 +125,34 @@ impl SimdMachine {
     /// # Panics
     /// Panics if `busy > P`.
     pub fn expansion_cycle(&mut self, busy: usize) {
+        self.expansion_cycles_run(busy, 1);
+    }
+
+    /// Account `n` consecutive lockstep expansion cycles, each with the
+    /// same `busy` count — the batch entry point for macro-stepping
+    /// engines. Exactly equivalent to calling
+    /// [`SimdMachine::expansion_cycle`]`(busy)` `n` times, but O(1): the
+    /// counters advance arithmetically and the trace records one
+    /// run-length-encoded run.
+    ///
+    /// # Panics
+    /// Panics if `busy > P`.
+    pub fn expansion_cycles_run(&mut self, busy: usize, n: u64) {
         assert!(busy <= self.p, "cannot have more busy PEs than the machine has");
+        if n == 0 {
+            return;
+        }
         let u = self.cost.u_calc;
-        self.now += u;
-        self.metrics.n_expand += 1;
-        self.metrics.nodes_expanded += busy as u64;
-        self.metrics.busy_pe_cycles += busy as u64;
-        self.metrics.idle_pe_cycles += (self.p - busy) as u64;
-        self.phase.cycles += 1;
-        self.phase.busy_pe_cycles += busy as u64;
-        self.phase.idle_pe_cycles += (self.p - busy) as u64;
+        self.now += u * n;
+        self.metrics.n_expand += n;
+        self.metrics.nodes_expanded += busy as u64 * n;
+        self.metrics.busy_pe_cycles += busy as u64 * n;
+        self.metrics.idle_pe_cycles += (self.p - busy) as u64 * n;
+        self.phase.cycles += n;
+        self.phase.busy_pe_cycles += busy as u64 * n;
+        self.phase.idle_pe_cycles += (self.p - busy) as u64 * n;
         if self.metrics.trace_enabled {
-            self.metrics.active_trace.push(busy as u32);
+            self.metrics.active_trace.push_run(busy as u32, n);
         }
     }
 
@@ -226,8 +242,9 @@ pub struct Report {
     pub t_lb: u64,
     /// `E = T_calc / (T_calc + T_idle + T_lb)` (eq. 9's left-hand side).
     pub efficiency: f64,
-    /// `A(t)` per expansion cycle if tracing was enabled (Fig. 8).
-    pub active_trace: Vec<u32>,
+    /// `A(t)` per expansion cycle if tracing was enabled (Fig. 8),
+    /// run-length encoded as `(cycle, A)` breakpoints.
+    pub active_trace: metrics::ActiveTrace,
     /// Per-balancing-phase events if tracing was enabled.
     pub phase_log: Vec<metrics::PhaseEvent>,
 }
@@ -329,7 +346,38 @@ mod tests {
         m.expansion_cycle(3);
         m.expansion_cycle(1);
         let r = m.finish(8);
-        assert_eq!(r.active_trace, vec![3, 1]);
+        assert_eq!(r.active_trace.to_vec(), vec![3, 1]);
+    }
+
+    #[test]
+    fn batched_cycles_match_singles_exactly() {
+        let mut batched = cm2(8);
+        batched.record_active_trace(true);
+        let mut singles = cm2(8);
+        singles.record_active_trace(true);
+        for &(busy, n) in &[(8usize, 3u64), (5, 1), (5, 4), (0, 2)] {
+            batched.expansion_cycles_run(busy, n);
+            for _ in 0..n {
+                singles.expansion_cycle(busy);
+            }
+        }
+        batched.lb_phase(1, 2);
+        singles.lb_phase(1, 2);
+        assert_eq!(batched.now(), singles.now());
+        assert_eq!(batched.phase().cycles, singles.phase().cycles);
+        let (rb, rs) = (batched.finish(33), singles.finish(33));
+        assert_eq!(rb.n_expand, rs.n_expand);
+        assert_eq!(rb.nodes_expanded, rs.nodes_expanded);
+        assert_eq!(rb.t_idle, rs.t_idle);
+        assert_eq!(rb.active_trace, rs.active_trace);
+    }
+
+    #[test]
+    fn zero_length_batch_is_a_noop() {
+        let mut m = cm2(4);
+        m.expansion_cycles_run(3, 0);
+        assert_eq!(m.now(), 0);
+        assert_eq!(m.metrics().n_expand, 0);
     }
 
     #[test]

@@ -1,8 +1,101 @@
-//! Run-long and phase-local counters.
+//! Run-long and phase-local counters, plus the run-length-encoded
+//! active-processor trace.
 
 use serde::{Deserialize, Serialize};
 
 use crate::SimTime;
+
+/// The Fig. 8 trace `A(t)`, run-length encoded as `(cycle, A)` breakpoints:
+/// a breakpoint `(c, a)` means "from cycle `c` (0-based) until the next
+/// breakpoint, `A = a`". The encoding is canonical — consecutive cycles
+/// with equal `A` never produce two breakpoints — so the derived
+/// `PartialEq` compares traces by value, and a full Fig. 4/7 sweep stores
+/// one breakpoint per balancing phase instead of one word per cycle.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActiveTrace {
+    breaks: Vec<(u64, u32)>,
+    len: u64,
+}
+
+impl ActiveTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one cycle with `a` active processors.
+    pub fn push(&mut self, a: u32) {
+        self.push_run(a, 1);
+    }
+
+    /// Append `n` consecutive cycles, all with `a` active processors.
+    /// A macro-stepping engine records whole constant runs in O(1).
+    pub fn push_run(&mut self, a: u32, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.breaks.last().map(|&(_, v)| v) != Some(a) {
+            self.breaks.push((self.len, a));
+        }
+        self.len += n;
+    }
+
+    /// Number of cycles recorded.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no cycle has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `A` at 0-based `cycle`, or `None` past the end.
+    pub fn get(&self, cycle: u64) -> Option<u32> {
+        if cycle >= self.len {
+            return None;
+        }
+        let idx = match self.breaks.binary_search_by_key(&cycle, |&(c, _)| c) {
+            Ok(i) => i,
+            Err(i) => i - 1, // a breakpoint at cycle 0 always exists
+        };
+        Some(self.breaks[idx].1)
+    }
+
+    /// The raw `(cycle, A)` breakpoints (ascending, first at cycle 0).
+    pub fn breakpoints(&self) -> &[(u64, u32)] {
+        &self.breaks
+    }
+
+    /// Iterate the constant runs as `(start_cycle, run_length, a)`.
+    pub fn runs(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
+        self.breaks.iter().enumerate().map(|(i, &(c, a))| {
+            let end = self.breaks.get(i + 1).map_or(self.len, |&(c2, _)| c2);
+            (c, end - c, a)
+        })
+    }
+
+    /// Iterate per-cycle values (decompressed view, one `u32` per cycle).
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs().flat_map(|(_, n, a)| std::iter::repeat_n(a, n as usize))
+    }
+
+    /// Decompress to one value per cycle (test/plotting helper).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().collect()
+    }
+}
+
+impl FromIterator<u32> for ActiveTrace {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut t = Self::new();
+        for a in iter {
+            t.push(a);
+        }
+        t
+    }
+}
 
 /// One load-balancing phase, as recorded in the phase log (when tracing
 /// is enabled): when it happened, what it moved, what it cost.
@@ -38,8 +131,9 @@ pub struct Metrics {
     pub t_lb_machine: SimTime,
     /// Whether to record `active_trace` and `phase_log`.
     pub trace_enabled: bool,
-    /// Busy-PE count per expansion cycle (Fig. 8), if enabled.
-    pub active_trace: Vec<u32>,
+    /// Busy-PE count per expansion cycle (Fig. 8), if enabled; run-length
+    /// encoded.
+    pub active_trace: ActiveTrace,
     /// One entry per balancing phase, if enabled.
     pub phase_log: Vec<PhaseEvent>,
 }
@@ -85,5 +179,54 @@ mod tests {
         let p = PhaseStats::default();
         assert_eq!(p.work_pe_cycles(), 0);
         assert_eq!(p.idle_pe_cycles(), 0);
+    }
+
+    #[test]
+    fn trace_round_trips_per_cycle_values() {
+        let vals = [3u32, 3, 3, 1, 1, 4, 4, 4, 4, 0];
+        let t: ActiveTrace = vals.iter().copied().collect();
+        assert_eq!(t.len(), vals.len() as u64);
+        assert_eq!(t.to_vec(), vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(t.get(i as u64), Some(v), "cycle {i}");
+        }
+        assert_eq!(t.get(vals.len() as u64), None);
+    }
+
+    #[test]
+    fn encoding_is_canonical_so_eq_is_by_value() {
+        // Same per-cycle values through different push patterns must
+        // compare equal (the equivalence suite relies on this).
+        let mut a = ActiveTrace::new();
+        a.push_run(5, 3);
+        a.push_run(5, 2);
+        a.push(2);
+        let mut b = ActiveTrace::new();
+        for v in [5, 5, 5, 5, 5, 2] {
+            b.push(v);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.breakpoints(), &[(0, 5), (5, 2)]);
+    }
+
+    #[test]
+    fn runs_partition_the_trace() {
+        let t: ActiveTrace = [7u32, 7, 1, 1, 1, 9].iter().copied().collect();
+        let runs: Vec<_> = t.runs().collect();
+        assert_eq!(runs, vec![(0, 2, 7), (2, 3, 1), (5, 1, 9)]);
+        assert_eq!(runs.iter().map(|&(_, n, _)| n).sum::<u64>(), t.len());
+    }
+
+    #[test]
+    fn zero_length_run_is_a_noop() {
+        let mut t = ActiveTrace::new();
+        t.push_run(4, 0);
+        assert!(t.is_empty());
+        assert!(t.breakpoints().is_empty());
+        t.push_run(4, 2);
+        t.push_run(9, 0);
+        t.push_run(4, 1);
+        assert_eq!(t.breakpoints(), &[(0, 4)], "empty run must not split a constant run");
+        assert_eq!(t.len(), 3);
     }
 }

@@ -9,12 +9,14 @@ use uts_machine::{CostModel, SimdMachine, Topology};
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Cycle { busy_fraction: u8 },
+    CycleRun { busy_fraction: u8, n: u8 },
     Balance { rounds: u8, transfers: u16 },
 }
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..=100).prop_map(|busy_fraction| Op::Cycle { busy_fraction }),
+        (0u8..=100, 0u8..16).prop_map(|(busy_fraction, n)| Op::CycleRun { busy_fraction, n }),
         (1u8..4, 0u16..500).prop_map(|(rounds, transfers)| Op::Balance { rounds, transfers }),
     ]
 }
@@ -50,6 +52,11 @@ proptest! {
                     m.expansion_cycle(busy);
                     expect_cycles += 1;
                 }
+                Op::CycleRun { busy_fraction, n } => {
+                    let busy = (p * busy_fraction as usize) / 100;
+                    m.expansion_cycles_run(busy, n as u64);
+                    expect_cycles += n as u64;
+                }
                 Op::Balance { rounds, transfers } => {
                     m.lb_phase(rounds as u32, transfers as u64);
                     expect_phases += 1;
@@ -79,6 +86,10 @@ proptest! {
                     m.expansion_cycle((p * busy_fraction as usize) / 100);
                     expect += cost.u_calc;
                 }
+                Op::CycleRun { busy_fraction, n } => {
+                    m.expansion_cycles_run((p * busy_fraction as usize) / 100, n as u64);
+                    expect += cost.u_calc * n as u64;
+                }
                 Op::Balance { rounds, transfers } => {
                     m.lb_phase(rounds as u32, transfers as u64);
                     expect += cost.lb_phase_cost(p, rounds as u32);
@@ -86,6 +97,52 @@ proptest! {
             }
         }
         prop_assert_eq!(m.now(), expect);
+    }
+
+    /// Batched runs are observationally identical to the equivalent
+    /// sequence of single cycles — same clock, counters, and RLE trace.
+    #[test]
+    fn batched_runs_equal_single_cycles(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        p_log in 0u32..10,
+        cost in arb_cost(),
+    ) {
+        let p = 1usize << p_log;
+        let mut batched = SimdMachine::new(p, cost);
+        batched.record_active_trace(true);
+        let mut singles = SimdMachine::new(p, cost);
+        singles.record_active_trace(true);
+        for op in &ops {
+            match *op {
+                Op::Cycle { busy_fraction } => {
+                    let busy = (p * busy_fraction as usize) / 100;
+                    batched.expansion_cycle(busy);
+                    singles.expansion_cycle(busy);
+                }
+                Op::CycleRun { busy_fraction, n } => {
+                    let busy = (p * busy_fraction as usize) / 100;
+                    batched.expansion_cycles_run(busy, n as u64);
+                    for _ in 0..n {
+                        singles.expansion_cycle(busy);
+                    }
+                }
+                Op::Balance { rounds, transfers } => {
+                    batched.lb_phase(rounds as u32, transfers as u64);
+                    singles.lb_phase(rounds as u32, transfers as u64);
+                }
+            }
+        }
+        prop_assert_eq!(batched.now(), singles.now());
+        prop_assert_eq!(batched.phase().cycles, singles.phase().cycles);
+        prop_assert_eq!(batched.phase().busy_pe_cycles, singles.phase().busy_pe_cycles);
+        prop_assert_eq!(batched.phase().idle_pe_cycles, singles.phase().idle_pe_cycles);
+        let w = batched.metrics().nodes_expanded;
+        let (rb, rs) = (batched.finish(w), singles.finish(w));
+        prop_assert_eq!(rb.n_expand, rs.n_expand);
+        prop_assert_eq!(rb.t_idle, rs.t_idle);
+        prop_assert_eq!(rb.t_par, rs.t_par);
+        prop_assert_eq!(rb.active_trace, rs.active_trace);
+        prop_assert_eq!(rb.phase_log, rs.phase_log);
     }
 
     /// Topology sanity across sizes: mesh phases dominate hypercube

@@ -26,4 +26,4 @@ pub mod stack;
 
 pub use problem::{BoundedNode, BoundedProblem, HeuristicProblem, TreeProblem};
 pub use serial::{serial_dfs, serial_dfs_collect, serial_dfs_first_goal, SerialStats};
-pub use stack::{SearchStack, SplitPolicy};
+pub use stack::{Burst, SearchStack, SplitPolicy};

@@ -24,6 +24,23 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::problem::TreeProblem;
+
+/// What a bounded DFS burst ([`SearchStack::expand_burst`]) did: how many
+/// cycles it ran, what it found, and how big the stack got.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Burst {
+    /// Expansion cycles executed (`<= budget`; strictly less only if the
+    /// stack emptied first).
+    pub expanded: u64,
+    /// Goal nodes found among the expanded nodes.
+    pub goals: u64,
+    /// Maximum post-push stack length observed over the burst — the same
+    /// per-cycle census quantity a lockstep engine samples, so a
+    /// macro-stepping engine reconstructs `peak_stack_nodes` exactly.
+    pub peak: usize,
+}
+
 /// How a donor partitions its untried alternatives (the alpha-splitting
 /// mechanism of Sec. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -358,6 +375,40 @@ impl<N> SearchStack<N> {
         Some(SearchStack { frames: out_frames, len: moved, spare: Vec::new() })
     }
 
+    /// A sound lower bound on the number of expansion cycles before this
+    /// processor can go idle: each cycle pops exactly one alternative and
+    /// pushes zero or more, so a stack holding `s` nodes survives at least
+    /// `s` cycles. This is the per-PE fact the engine's event-horizon
+    /// computation is built on (`A(t)` cannot drop below any threshold
+    /// sooner than the matching order statistic of stack sizes).
+    pub fn cycles_to_empty_lower_bound(&self) -> u64 {
+        self.len as u64
+    }
+
+    /// Run this processor's DFS for up to `budget` consecutive expansion
+    /// cycles (or until the stack empties): pop, goal-test, expand, push —
+    /// the per-PE inner loop of a macro-stepping engine. One hot stack
+    /// streams through cache instead of being revisited once per lockstep
+    /// round-robin sweep.
+    ///
+    /// Each iteration performs exactly the work one lockstep cycle would:
+    /// the returned [`Burst`] lets the caller reconstruct the ensemble
+    /// census afterwards (`expanded` is this PE's empty-time if it died
+    /// before the budget ran out).
+    pub fn expand_burst<P: TreeProblem<Node = N>>(&mut self, problem: &P, budget: u64) -> Burst {
+        let mut burst = Burst::default();
+        while burst.expanded < budget {
+            let Some(node) = self.pop_next() else { break };
+            if problem.is_goal(&node) {
+                burst.goals += 1;
+            }
+            self.push_frame_with(|frame| problem.expand(&node, frame));
+            burst.expanded += 1;
+            burst.peak = burst.peak.max(self.len);
+        }
+        burst
+    }
+
     /// Iterate the alternatives bottom-to-top (test helper / diagnostics).
     pub fn iter(&self) -> impl Iterator<Item = &N> {
         self.frames.iter().flatten()
@@ -645,6 +696,68 @@ mod tests {
         assert!(donor.split_into(SplitPolicy::Bottom, &mut recv));
         assert_eq!(recv.spare.len(), 0, "the pooled frame backs the donation");
         assert_eq!(recv.iter().copied().collect::<Vec<_>>(), vec![1]);
+    }
+
+    /// Tiny deterministic problem for burst tests: node `n > 0` has two
+    /// children `n - 1`; `n == 0` is a goal leaf.
+    struct Halving;
+    impl TreeProblem for Halving {
+        type Node = u32;
+        fn root(&self) -> u32 {
+            3
+        }
+        fn expand(&self, n: &u32, out: &mut Vec<u32>) {
+            if *n > 0 {
+                out.push(n - 1);
+                out.push(n - 1);
+            }
+        }
+        fn is_goal(&self, n: &u32) -> bool {
+            *n == 0
+        }
+    }
+
+    #[test]
+    fn expand_burst_matches_manual_lockstep_cycles() {
+        for budget in [1u64, 2, 3, 5, 100] {
+            let mut fast = SearchStack::from_root(Halving.root());
+            let mut slow = SearchStack::from_root(Halving.root());
+            let burst = fast.expand_burst(&Halving, budget);
+            let (mut expanded, mut goals, mut peak) = (0u64, 0u64, 0usize);
+            while expanded < budget {
+                let Some(node) = slow.pop_next() else { break };
+                if Halving.is_goal(&node) {
+                    goals += 1;
+                }
+                slow.push_frame_with(|f| Halving.expand(&node, f));
+                expanded += 1;
+                peak = peak.max(slow.len());
+            }
+            assert_eq!(burst, Burst { expanded, goals, peak }, "budget {budget}");
+            assert_eq!(
+                fast.iter().copied().collect::<Vec<_>>(),
+                slow.iter().copied().collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn expand_burst_stops_early_only_when_empty() {
+        let mut s = SearchStack::from_root(Halving.root());
+        let burst = s.expand_burst(&Halving, u64::MAX);
+        // 2^4 - 1 = 15 nodes in the full tree rooted at 3.
+        assert_eq!(burst.expanded, 15);
+        assert_eq!(burst.goals, 8, "the eight 0-leaves");
+        assert!(s.is_empty());
+        let burst2 = s.expand_burst(&Halving, 5);
+        assert_eq!(burst2, Burst::default(), "empty stack bursts zero cycles");
+    }
+
+    #[test]
+    fn cycles_to_empty_bound_is_the_node_count() {
+        let s = stack_of(vec![vec![1, 2], vec![3]]);
+        assert_eq!(s.cycles_to_empty_lower_bound(), 3);
+        assert_eq!(SearchStack::<u32>::new().cycles_to_empty_lower_bound(), 0);
     }
 
     #[test]

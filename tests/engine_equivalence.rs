@@ -1,6 +1,7 @@
-//! Schedule equivalence: the fused, allocation-steady-state engine
-//! (`uts_core::run`) must produce a **bit-identical** lockstep schedule to
-//! the reference two-sweep executor (`uts_core::run_reference`) — same
+//! Schedule equivalence: the event-horizon macro engine (`uts_core::run`,
+//! the default) and the fused single-cycle engine (`uts_core::run_fused`)
+//! must both produce a **bit-identical** lockstep schedule to the
+//! reference two-sweep executor (`uts_core::run_reference`) — same
 //! counters, same virtual times, same traces, same per-PE donation counts.
 //! The lockstep schedule is the correctness contract of the whole repo:
 //! every table and figure regenerator sits on top of it.
@@ -29,30 +30,41 @@ fn arb_split() -> impl Strategy<Value = SplitPolicy> {
 /// Every observable of the two outcomes must coincide. Plain asserts so the
 /// helper is usable from property and unit tests alike (a panic fails a
 /// proptest case the same way a `prop_assert!` does).
-fn assert_equivalent(fused: &Outcome, reference: &Outcome) {
-    assert_eq!(fused.report.n_expand, reference.report.n_expand, "n_expand");
-    assert_eq!(fused.report.n_lb, reference.report.n_lb, "n_lb");
-    assert_eq!(fused.report.n_transfers, reference.report.n_transfers, "n_transfers");
-    assert_eq!(fused.report.nodes_expanded, reference.report.nodes_expanded, "nodes_expanded");
-    assert_eq!(fused.report.t_par, reference.report.t_par, "t_par");
-    assert_eq!(fused.report.t_calc, reference.report.t_calc, "t_calc");
-    assert_eq!(fused.report.t_idle, reference.report.t_idle, "t_idle");
-    assert_eq!(fused.report.t_lb, reference.report.t_lb, "t_lb");
-    assert_eq!(fused.report.active_trace, reference.report.active_trace, "active_trace");
-    assert_eq!(fused.goals, reference.goals, "goals");
-    assert_eq!(fused.truncated, reference.truncated, "truncated");
-    assert_eq!(fused.donations, reference.donations, "donations");
-    assert_eq!(fused.peak_stack_nodes, reference.peak_stack_nodes, "peak_stack_nodes");
+fn assert_equivalent(label: &str, got: &Outcome, reference: &Outcome) {
+    assert_eq!(got.report.n_expand, reference.report.n_expand, "{label}: n_expand");
+    assert_eq!(got.report.n_lb, reference.report.n_lb, "{label}: n_lb");
+    assert_eq!(got.report.n_transfers, reference.report.n_transfers, "{label}: n_transfers");
+    assert_eq!(
+        got.report.nodes_expanded, reference.report.nodes_expanded,
+        "{label}: nodes_expanded"
+    );
+    assert_eq!(got.report.t_par, reference.report.t_par, "{label}: t_par");
+    assert_eq!(got.report.t_calc, reference.report.t_calc, "{label}: t_calc");
+    assert_eq!(got.report.t_idle, reference.report.t_idle, "{label}: t_idle");
+    assert_eq!(got.report.t_lb, reference.report.t_lb, "{label}: t_lb");
+    assert_eq!(got.report.active_trace, reference.report.active_trace, "{label}: active_trace");
+    assert_eq!(got.goals, reference.goals, "{label}: goals");
+    assert_eq!(got.truncated, reference.truncated, "{label}: truncated");
+    assert_eq!(got.donations, reference.donations, "{label}: donations");
+    assert_eq!(got.peak_stack_nodes, reference.peak_stack_nodes, "{label}: peak_stack_nodes");
+}
+
+/// Run all three engines on the same configuration and require bitwise
+/// agreement of macro and fused against the reference oracle.
+fn assert_all_engines_agree<P: simd_tree_search::tree::TreeProblem>(tree: &P, cfg: &EngineConfig) {
+    let reference = run_reference(tree, cfg);
+    assert_equivalent("macro", &run(tree, cfg), &reference);
+    assert_equivalent("fused", &run_fused(tree, cfg), &reference);
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     /// Schemes × machine sizes × seeds: exhaustive runs schedule
-    /// identically under the fused and reference engines, down to the
-    /// Fig. 8 active trace and every per-PE donation counter.
+    /// identically under the macro, fused and reference engines, down to
+    /// the Fig. 8 active trace and every per-PE donation counter.
     #[test]
-    fn fused_engine_matches_reference_schedule(
+    fn engines_match_reference_schedule(
         seed in 0u64..400,
         scheme in arb_scheme(),
         split in arb_split(),
@@ -63,15 +75,13 @@ proptest! {
         let cfg = EngineConfig::new(p, scheme, CostModel::cm2())
             .with_split(split)
             .with_trace();
-        let fused = run(&tree, &cfg);
-        let reference = run_reference(&tree, &cfg);
-        assert_equivalent(&fused, &reference);
+        assert_all_engines_agree(&tree, &cfg);
     }
 
     /// Same contract on goal-bearing binomial trees, including the
     /// stop-on-goal early exit.
     #[test]
-    fn fused_engine_matches_reference_with_goals(
+    fn engines_match_reference_with_goals(
         seed in 0u64..200,
         scheme in arb_scheme(),
         stop_on_goal in any::<bool>(),
@@ -80,9 +90,22 @@ proptest! {
         let tree = BinomialTree::with_q(seed, 16, 4, 0.2);
         let mut cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace();
         cfg.stop_on_goal = stop_on_goal;
-        let fused = run(&tree, &cfg);
-        let reference = run_reference(&tree, &cfg);
-        assert_equivalent(&fused, &reference);
+        assert_all_engines_agree(&tree, &cfg);
+    }
+
+    /// The `max_cycles` safety valve truncates all three engines at the
+    /// same cycle (the macro engine must clamp its horizon to the budget).
+    #[test]
+    fn engines_match_reference_when_truncated(
+        seed in 0u64..100,
+        scheme in arb_scheme(),
+        max_cycles in 0u64..60,
+        p_log in 0u32..7,
+    ) {
+        let tree = GeometricTree { seed, b_max: 6, depth_limit: 5 };
+        let mut cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace();
+        cfg.max_cycles = Some(max_cycles);
+        assert_all_engines_agree(&tree, &cfg);
     }
 }
 
@@ -93,13 +116,14 @@ fn table1_schemes_schedule_identically_at_p256() {
     let tree = GeometricTree { seed: 17, b_max: 8, depth_limit: 6 };
     for (name, scheme) in Scheme::table1(0.75) {
         let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace();
-        let fused = run(&tree, &cfg);
         let reference = run_reference(&tree, &cfg);
-        assert_eq!(fused.report.n_expand, reference.report.n_expand, "{name}");
-        assert_eq!(fused.report.n_lb, reference.report.n_lb, "{name}");
-        assert_eq!(fused.report.t_idle, reference.report.t_idle, "{name}");
-        assert_eq!(fused.report.t_lb, reference.report.t_lb, "{name}");
-        assert_eq!(fused.report.active_trace, reference.report.active_trace, "{name}");
-        assert_eq!(fused.donations, reference.donations, "{name}");
+        for (engine, out) in [("macro", run(&tree, &cfg)), ("fused", run_fused(&tree, &cfg))] {
+            assert_eq!(out.report.n_expand, reference.report.n_expand, "{name}/{engine}");
+            assert_eq!(out.report.n_lb, reference.report.n_lb, "{name}/{engine}");
+            assert_eq!(out.report.t_idle, reference.report.t_idle, "{name}/{engine}");
+            assert_eq!(out.report.t_lb, reference.report.t_lb, "{name}/{engine}");
+            assert_eq!(out.report.active_trace, reference.report.active_trace, "{name}/{engine}");
+            assert_eq!(out.donations, reference.donations, "{name}/{engine}");
+        }
     }
 }

@@ -1,0 +1,108 @@
+//! Horizon soundness: the macro engine batches `H` expansion cycles only
+//! after proving the trigger cannot *effectively* fire before the next
+//! checkpoint. The proof obligation, checked here against the per-cycle
+//! reference engine: every balancing phase the reference performs lands
+//! exactly on a macro-step boundary — never strictly inside a batch — and
+//! the macro-steps partition the cycle count exactly.
+
+use proptest::prelude::*;
+use simd_tree_search::prelude::*;
+use simd_tree_search::synth::GeometricTree;
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        (0.05f64..0.95).prop_map(Scheme::gp_static),
+        (0.05f64..0.95).prop_map(Scheme::ngp_static),
+        Just(Scheme::gp_dk()),
+        Just(Scheme::ngp_dk()),
+        Just(Scheme::gp_dp()),
+        Just(Scheme::ngp_dp()),
+        Just(Scheme::fess()),
+        Just(Scheme::fegs()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random trees × schemes × machine sizes: no balancing phase of the
+    /// per-cycle reference run falls strictly inside a macro-step.
+    #[test]
+    fn trigger_never_fires_inside_a_macro_step(
+        seed in 0u64..300,
+        scheme in arb_scheme(),
+        p_log in 0u32..9,
+    ) {
+        let tree = GeometricTree { seed, b_max: 6, depth_limit: 5 };
+        let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+            .with_trace()
+            .with_horizon_log();
+        let out = run(&tree, &cfg);
+        let reference = run_reference(&tree, &cfg);
+
+        // The steps partition [0, N_expand) and honor their horizons.
+        let mut checkpoints = Vec::with_capacity(out.macro_steps.len());
+        let mut cursor = 0u64;
+        for step in &out.macro_steps {
+            prop_assert_eq!(step.start_cycle, cursor);
+            prop_assert!(step.horizon >= 1, "horizon must be a positive bound");
+            prop_assert!(step.ran >= 1 && step.ran <= step.horizon);
+            cursor += step.ran;
+            checkpoints.push(cursor);
+        }
+        prop_assert_eq!(cursor, out.report.n_expand, "steps must cover the run");
+        prop_assert_eq!(out.report.n_expand, reference.report.n_expand);
+
+        // Every balancing phase the per-cycle oracle performs sits on a
+        // checkpoint (phase events are stamped with the cycle count at the
+        // moment the machine leaves the search phase).
+        for event in &reference.report.phase_log {
+            prop_assert!(
+                checkpoints.binary_search(&event.at_cycle).is_ok(),
+                "reference balanced at cycle {} but the macro engine's checkpoints are {:?}",
+                event.at_cycle,
+                checkpoints
+            );
+        }
+    }
+}
+
+/// The init phase of dynamic triggers balances after (almost) every cycle;
+/// the macro engine must degrade to single-cycle steps there and still
+/// line up with the reference.
+#[test]
+fn init_phase_runs_single_cycle_steps() {
+    // Deep enough that the run has a real steady state after the init
+    // ramp (at depth 6 the whole search fits inside the ramp at P=128).
+    let tree = GeometricTree { seed: 5, b_max: 8, depth_limit: 7 };
+    let cfg =
+        EngineConfig::new(128, Scheme::gp_dk(), CostModel::cm2()).with_trace().with_horizon_log();
+    assert_eq!(cfg.init_fraction, Some(0.85), "dynamic scheme gets the init phase");
+    let out = run(&tree, &cfg);
+    let reference = run_reference(&tree, &cfg);
+    assert_eq!(out.report.phase_log, reference.report.phase_log);
+
+    // While fewer than 85% of PEs hold work the engine steps one cycle at
+    // a time; the first macro-step must therefore be a single cycle.
+    let first = out.macro_steps.first().expect("non-empty run");
+    assert_eq!((first.horizon, first.ran), (1, 1));
+    // And once the init phase hands over, real horizons appear.
+    assert!(
+        out.macro_steps.iter().any(|s| s.ran > 1),
+        "no batching happened at all: {:?}",
+        &out.macro_steps[..out.macro_steps.len().min(16)]
+    );
+}
+
+/// `stop_on_goal` needs per-cycle goal observation: every step must be a
+/// single cycle so the early exit lands on the same cycle as the oracle's.
+#[test]
+fn stop_on_goal_forces_single_cycle_steps() {
+    let tree = simd_tree_search::synth::BinomialTree::with_q(9, 64, 4, 0.22);
+    let mut cfg = EngineConfig::new(16, Scheme::gp_static(0.8), CostModel::cm2())
+        .with_trace()
+        .with_horizon_log();
+    cfg.stop_on_goal = true;
+    let out = run(&tree, &cfg);
+    assert!(out.macro_steps.iter().all(|s| s.horizon == 1 && s.ran == 1));
+}
