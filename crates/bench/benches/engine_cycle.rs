@@ -7,11 +7,14 @@
 //! spends O(P) per cycle on idle slots and a second census sweep, while
 //! the fused loop touches only active PEs. The macro engine additionally
 //! skips trigger checkpoints it can prove are no-ops, running each PE's
-//! DFS in cache-hot bursts between them.
+//! DFS in cache-hot bursts between them. The par engine shards those
+//! bursts across host worker threads (auto-detected here, so single-core
+//! machines measure its inline-path parity with the macro engine and
+//! multicore machines its scaling).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use uts_core::{run, run_fused, run_reference, EngineConfig, Scheme};
+use uts_core::{run, run_fused, run_par, run_reference, EngineConfig, Scheme};
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
 use uts_tree::serial_dfs;
@@ -28,6 +31,9 @@ fn bench_engine_cycle(c: &mut Criterion) {
     for p in [1024usize, 8192] {
         g.bench_with_input(BenchmarkId::new("macro", p), &p, |b, &p| {
             b.iter(|| black_box(run(&tree, &cfg(p))).report.nodes_expanded)
+        });
+        g.bench_with_input(BenchmarkId::new("par", p), &p, |b, &p| {
+            b.iter(|| black_box(run_par(&tree, &cfg(p))).report.nodes_expanded)
         });
         g.bench_with_input(BenchmarkId::new("fused", p), &p, |b, &p| {
             b.iter(|| black_box(run_fused(&tree, &cfg(p))).report.nodes_expanded)

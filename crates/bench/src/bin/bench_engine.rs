@@ -1,7 +1,7 @@
 //! Engine-throughput harness: measures simulated nodes expanded per host
-//! second for the event-horizon macro engine, the fused hot loop, and the
-//! reference two-sweep executor, and writes the results to
-//! `BENCH_engine.json` (current directory).
+//! second for the host-parallel macro engine, the event-horizon macro
+//! engine, the fused hot loop, and the reference two-sweep executor, and
+//! writes the results to `BENCH_engine.json` (current directory).
 //!
 //! ```text
 //! cargo run --release -p uts-bench --bin bench_engine -- [--quick] [--check] [--out PATH]
@@ -15,11 +15,22 @@
 //! path) — while the deep tree reaches a steady state whose multi-cycle
 //! horizons let macro-stepping actually pay.
 //!
+//! The par engine runs with auto-detected workers (`RAYON_NUM_THREADS`
+//! respected), so its numbers mean different things on different hosts:
+//! on a single-core machine it takes the inline path and can only show
+//! parity with the macro engine, while on a multicore host the sharded
+//! burst phase should beat it outright. `host_threads` in the JSON records
+//! which regime was measured.
+//!
 //! `--quick` shrinks the tree and machine sizes for CI smoke runs.
-//! `--check` exits non-zero if an engine regresses past its floor
-//! (fused >= 0.9x reference, macro >= 0.9x fused) — the CI guard against
-//! a hot-path refactor quietly giving the speedups back. The JSON is
-//! hand-rolled (flat schema, no serializer dependency):
+//! `--check` exits non-zero if an engine regresses past its floor —
+//! fused >= 0.9x reference, macro >= 0.9x fused, and parallelism-aware
+//! par floors: par >= 0.85x macro always (parity within noise, any host),
+//! plus par >= 1.5x macro on the deep d10 tree when the host has >= 4
+//! cores (the scaling target; never asserted on hosts that cannot
+//! physically reach it). The CI guard against a hot-path refactor quietly
+//! giving the speedups back. The JSON is hand-rolled (flat schema, no
+//! serializer dependency):
 //!
 //! ```json
 //! {
@@ -44,7 +55,7 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use uts_core::{run, run_fused, run_reference, EngineConfig, Outcome, Scheme};
+use uts_core::{run, run_fused, run_par, run_reference, EngineConfig, Outcome, Scheme};
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
 use uts_tree::{serial_dfs, TreeProblem};
@@ -66,8 +77,14 @@ struct Measurement {
     t_par_us: u64,
 }
 
-/// Run `f` repeatedly until ~`budget_s` seconds elapse, returning the mean
-/// seconds per run and the (schedule-invariant) outcome.
+/// Run `f` repeatedly until ~`budget_s` seconds elapse, returning the
+/// *best* (minimum) seconds per run and the (schedule-invariant) outcome.
+///
+/// The minimum, not the mean: these ratios gate CI on shared, noisy hosts
+/// where a scheduler hiccup during one engine's window would skew a mean
+/// by tens of percent. Interference only ever slows a run down, so the
+/// per-engine minimum estimates uncontended cost and ratios of minima stay
+/// stable run-to-run.
 ///
 /// A quarter of the budget is spent on untimed warm-up first: engines are
 /// measured back-to-back, and without it the first engine measured pays
@@ -78,15 +95,15 @@ fn measure<F: FnMut() -> Outcome>(mut f: F, budget_s: f64) -> (f64, Outcome) {
     while warm.elapsed().as_secs_f64() < budget_s * 0.25 {
         f();
     }
-    let mut runs = 0u32;
+    let mut best = f64::INFINITY;
     let start = Instant::now();
     loop {
+        let t0 = Instant::now();
         let out = f();
-        runs += 1;
-        let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= budget_s {
+        best = best.min(t0.elapsed().as_secs_f64());
+        if start.elapsed().as_secs_f64() >= budget_s {
             debug_assert_eq!(out.report.n_expand, first.report.n_expand, "runs are deterministic");
-            return (elapsed / runs as f64, out);
+            return (best, out);
         }
     }
 }
@@ -141,6 +158,7 @@ fn main() {
         for &p in case.ps {
             let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
             for (engine, runner) in [
+                ("par", run_par as fn(&GeometricTree, &EngineConfig) -> Outcome),
                 ("macro", run as fn(&GeometricTree, &EngineConfig) -> Outcome),
                 ("fused", run_fused as fn(&GeometricTree, &EngineConfig) -> Outcome),
                 ("reference", run_reference as fn(&GeometricTree, &EngineConfig) -> Outcome),
@@ -189,8 +207,11 @@ fn main() {
         s
     };
 
+    let host_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"engine_cycle\",\n  \"trees\": [\n");
+    json.push_str("{\n  \"bench\": \"engine_cycle\",\n");
+    let _ = writeln!(json, "  \"host_threads\": {host_threads},");
+    json.push_str("  \"trees\": [\n");
     for (i, (label, depth, w)) in tree_sizes.iter().enumerate() {
         let comma = if i + 1 < tree_sizes.len() { "," } else { "" };
         let _ = writeln!(
@@ -210,7 +231,9 @@ fn main() {
     json.push_str("  ],\n  \"speedups\": {\n");
     let _ = writeln!(json, "    \"fused_vs_reference\": {{{}}},", ratio_map("fused", "reference"));
     let _ = writeln!(json, "    \"macro_vs_fused\": {{{}}},", ratio_map("macro", "fused"));
-    let _ = writeln!(json, "    \"macro_vs_reference\": {{{}}}", ratio_map("macro", "reference"));
+    let _ = writeln!(json, "    \"macro_vs_reference\": {{{}}},", ratio_map("macro", "reference"));
+    let _ = writeln!(json, "    \"par_vs_macro\": {{{}}},", ratio_map("par", "macro"));
+    let _ = writeln!(json, "    \"par_vs_reference\": {{{}}}", ratio_map("par", "reference"));
     json.push_str("  }\n}\n");
 
     match std::fs::write(&out_path, &json) {
@@ -224,9 +247,15 @@ fn main() {
     if check {
         // Regression floors, deliberately loose (0.9x) so machine noise
         // doesn't flake CI while a real hot-path regression still trips.
+        // The par floors are parallelism-aware: parity-within-noise holds
+        // on any host (one worker = the macro engine plus a branch), while
+        // the 1.5x scaling floor only applies where the hardware can
+        // physically deliver it (>= 4 cores, and only on the deep tree
+        // whose horizons are long enough to amortize the fan-out).
         let mut ok = true;
         for &(tree, p) in &configs {
-            let (ma, fu, re) = (
+            let (pa, ma, fu, re) = (
+                rate(tree, p, "par").unwrap(),
                 rate(tree, p, "macro").unwrap(),
                 rate(tree, p, "fused").unwrap(),
                 rate(tree, p, "reference").unwrap(),
@@ -239,10 +268,29 @@ fn main() {
                 eprintln!("CHECK FAIL {tree} P={p}: macro {ma:.0} < 0.9x fused {fu:.0}");
                 ok = false;
             }
+            // 0.85, not 0.9: this is a parity check, not a scaling check,
+            // and a single-worker `run_par` that runs the macro engine's
+            // exact step code still measures a few percent slower from
+            // codegen/layout differences alone.
+            if pa < 0.85 * ma {
+                eprintln!("CHECK FAIL {tree} P={p}: par {pa:.0} < 0.85x macro {ma:.0}");
+                ok = false;
+            }
+            if host_threads >= 4 && tree == "d10" && pa < 1.5 * ma {
+                eprintln!(
+                    "CHECK FAIL {tree} P={p}: par {pa:.0} < 1.5x macro {ma:.0} \
+                     with {host_threads} host threads"
+                );
+                ok = false;
+            }
         }
         if !ok {
             std::process::exit(1);
         }
-        eprintln!("check passed: fused >= 0.9x reference, macro >= 0.9x fused");
+        eprintln!(
+            "check passed: fused >= 0.9x reference, macro >= 0.9x fused, par >= 0.85x macro\
+             {} ({host_threads} host threads)",
+            if host_threads >= 4 { ", par >= 1.5x macro on d10" } else { "" }
+        );
     }
 }

@@ -31,6 +31,39 @@ use crate::matcher::MatchState;
 use crate::scheme::{Scheme, TransferMode};
 use crate::trigger::{should_balance, TriggerCtx};
 
+/// Which executor [`run_with`] dispatches to. All four produce
+/// bit-identical lockstep schedules (the contract enforced by
+/// `tests/engine_equivalence.rs` and `tests/engine_differential.rs`); they
+/// differ only in host-side speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// The two-sweep oracle loop ([`crate::reference::run_reference`]).
+    Reference,
+    /// The PR 1 fused single-cycle pipeline ([`run_fused`]).
+    Fused,
+    /// The event-horizon macro-step engine ([`crate::macrostep::run`]).
+    Macro,
+    /// The host-parallel macro-step engine
+    /// ([`crate::parstep::run_par`]).
+    Par,
+}
+
+impl EngineKind {
+    /// All engines, oracle first — handy for differential tests.
+    pub const ALL: [EngineKind; 4] =
+        [EngineKind::Reference, EngineKind::Fused, EngineKind::Macro, EngineKind::Par];
+
+    /// Short stable name for labels and JSON keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Reference => "reference",
+            EngineKind::Fused => "fused",
+            EngineKind::Macro => "macro",
+            EngineKind::Par => "par",
+        }
+    }
+}
+
 /// Engine configuration: machine size, scheme, cost model, knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -58,6 +91,14 @@ pub struct EngineConfig {
     /// ([`Outcome::macro_steps`]); ignored by the fused and reference
     /// engines. For horizon-soundness diagnostics and tests.
     pub record_horizons: bool,
+    /// Which executor [`run_with`] dispatches to (the direct entry points
+    /// `run`, `run_fused`, `run_reference`, `run_par` ignore it).
+    pub engine: EngineKind,
+    /// Host worker threads for [`crate::parstep::run_par`]: `None` means
+    /// "respect `RAYON_NUM_THREADS` if set, else one worker per available
+    /// core". Ignored by the other engines, and **never** part of the
+    /// schedule: any value yields the identical `Outcome`.
+    pub threads: Option<usize>,
 }
 
 impl EngineConfig {
@@ -75,6 +116,8 @@ impl EngineConfig {
             stop_on_goal: false,
             max_cycles: None,
             record_horizons: false,
+            engine: EngineKind::Macro,
+            threads: None,
         }
     }
 
@@ -95,10 +138,36 @@ impl EngineConfig {
         self.split = split;
         self
     }
+
+    /// Builder: pick the executor [`run_with`] dispatches to.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Builder: pin the host worker count of the parallel engine.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
 }
 
-/// Result of a parallel run.
-#[derive(Debug, Clone)]
+/// Run `problem` under the executor named by [`EngineConfig::engine`].
+/// Every arm produces the same `Outcome` bit-for-bit.
+pub fn run_with<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    match cfg.engine {
+        EngineKind::Reference => crate::reference::run_reference(problem, cfg),
+        EngineKind::Fused => run_fused(problem, cfg),
+        EngineKind::Macro => crate::macrostep::run(problem, cfg),
+        EngineKind::Par => crate::parstep::run_par(problem, cfg),
+    }
+}
+
+/// Result of a parallel run. `PartialEq` compares every observable —
+/// report (including the `f64` efficiency, which is a pure function of the
+/// integer time counters, so bitwise comparison is exact), goals,
+/// donations, traces — which is what the differential suites assert on.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Outcome {
     /// Machine accounting (efficiency, `N_expand`, `N_lb`, traces, …).
     /// `report.w` is set to the *measured* parallel node count; callers
@@ -187,45 +256,20 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
     // Long-lived balancing buffers, reused across every round of every
     // balancing phase of the run.
-    let mut scratch = MatchScratch::default();
-    let mut pairs: Vec<Pair> = Vec::new();
-    let mut incoming: Vec<usize> = Vec::new();
-    let mut merge_buf: Vec<usize> = Vec::new();
+    let mut lb = LbBuffers::default();
 
     loop {
         // ---- fused expansion + census (one pass over the active list) ----
-        // Every listed PE holds work, so each pops exactly one node; its
-        // post-push stack state doubles as this cycle's census entry, which
-        // removes the second O(P) sweep of the reference loop.
-        let worked = active.len();
-        let mut busy_count = 0usize;
-        let mut kept = 0usize;
-        for scan in 0..active.len() {
-            let i = active[scan];
-            let stack = &mut pes[i];
-            let node = stack.pop_next().expect("active PEs hold work");
-            if problem.is_goal(&node) {
-                goals += 1;
-            }
-            // Children are generated straight into a pooled frame vector —
-            // no bounce through a per-PE child buffer.
-            stack.push_frame_with(|frame| problem.expand(&node, frame));
-            let len = stack.len();
-            if len == 0 {
-                // Exhausted: leave the active list (rejoining the idle set
-                // implicitly). A PE that empties was not splittable, so its
-                // busy flag is already false.
-                debug_assert!(!busy_flags[i]);
-            } else {
-                busy_flags[i] = len >= 2;
-                busy_count += (len >= 2) as usize;
-                peak_stack_nodes = peak_stack_nodes.max(len);
-                active[kept] = i;
-                kept += 1;
-            }
-        }
-        active.truncate(kept);
-        machine.expansion_cycle(worked);
+        let stats = fused_expansion_cycle(
+            problem,
+            &mut pes,
+            &mut active,
+            &mut busy_flags,
+            &mut goals,
+            &mut peak_stack_nodes,
+        );
+        let mut busy_count = stats.busy;
+        machine.expansion_cycle(stats.started);
 
         if cfg.stop_on_goal && goals > 0 {
             break;
@@ -238,126 +282,25 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
             break; // space exhausted
         }
 
-        let has_work = active.len();
-        let busy = busy_count;
-        let idle = cfg.p - has_work;
-
-        // ---- trigger ----
-        let fire = if in_init {
-            let threshold = cfg.init_fraction.unwrap();
-            if (has_work as f64) >= threshold * cfg.p as f64 {
-                in_init = false;
-                // Hand over to the real trigger starting next cycle; do not
-                // balance on the handover cycle itself.
-                false
-            } else {
-                // Paper Sec. 7: during init every expansion cycle is
-                // followed by a distribution cycle (static x = 0.85 fires
-                // whenever A <= 0.85 P, which holds throughout init).
-                true
-            }
-        } else {
-            let ctx = TriggerCtx {
-                p: cfg.p,
-                busy,
+        // ---- trigger + load-balancing phase (shared checkpoint tail) ----
+        let idle = cfg.p - active.len();
+        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+            balancing_phase(
+                cfg,
+                &mut machine,
+                &mut matcher,
+                &mut pes,
+                &mut active,
+                &mut busy_flags,
+                &mut busy_count,
+                &mut donations,
+                &mut lb,
                 idle,
-                phase: *machine.phase(),
-                u_calc: cfg.cost.u_calc,
-                l_estimate: machine.estimated_lb_cost(),
-            };
-            should_balance(cfg.scheme.trigger, &ctx)
-        };
-        if !fire || busy == 0 || idle == 0 {
-            continue;
-        }
-
-        // ---- load-balancing phase ----
-        let mut rounds = 0u32;
-        let mut transfers = 0u64;
-        match cfg.scheme.transfers {
-            TransferMode::Single => {
-                pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
-                let need = scratch.packed_busy.len().min(cfg.p - active.len());
-                pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
-                matcher.match_round_packed(
-                    cfg.p,
-                    &scratch.packed_busy,
-                    &scratch.packed_idle,
-                    &mut pairs,
-                );
-                transfers += apply_pairs(
-                    &mut pes,
-                    &pairs,
-                    cfg.split,
-                    &mut donations,
-                    &mut busy_flags,
-                    &mut busy_count,
-                    &mut incoming,
-                );
-                merge_active(&mut active, &mut incoming, &mut merge_buf);
-                rounds = 1;
-            }
-            TransferMode::Multiple => {
-                // Repeat rendezvous rounds until no idle PE can be fed
-                // (required for D^P, Sec. 2.3). Flags and the active list
-                // are updated transfer-by-transfer, so no per-round refresh
-                // sweep is needed; the merge runs each round so the next
-                // round's enumerations see the PEs just fed.
-                let mut idle_left = idle;
-                loop {
-                    if busy_count == 0 || idle_left == 0 {
-                        break;
-                    }
-                    pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
-                    let need = scratch.packed_busy.len().min(idle_left);
-                    pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
-                    matcher.match_round_packed(
-                        cfg.p,
-                        &scratch.packed_busy,
-                        &scratch.packed_idle,
-                        &mut pairs,
-                    );
-                    if pairs.is_empty() {
-                        break;
-                    }
-                    let done = apply_pairs(
-                        &mut pes,
-                        &pairs,
-                        cfg.split,
-                        &mut donations,
-                        &mut busy_flags,
-                        &mut busy_count,
-                        &mut incoming,
-                    );
-                    merge_active(&mut active, &mut incoming, &mut merge_buf);
-                    idle_left -= done as usize;
-                    transfers += done;
-                    rounds += 1;
-                }
-            }
-            TransferMode::Equalize => {
-                // FEGS: move counted chunks until node counts are
-                // near-uniform (donors above average feed the poorest).
-                // Equalization touches arbitrary PEs, so rebuild the active
-                // list and flags wholesale afterwards (it is already O(P)
-                // per round; one extra sweep changes nothing asymptotic).
-                rounds = equalize(&mut pes, &mut transfers, &mut donations);
-                active.clear();
-                for (i, stack) in pes.iter().enumerate() {
-                    let len = stack.len();
-                    busy_flags[i] = len >= 2;
-                    if len > 0 {
-                        active.push(i);
-                    }
-                }
-            }
-        }
-        if rounds > 0 {
-            machine.lb_phase(rounds, transfers);
+            );
         }
         // If no transfer was possible the trigger may keep firing, but the
-        // `busy == 0 || idle == 0` guard above prevents livelock because a
-        // cycle always runs at the top of the loop.
+        // `busy == 0 || idle == 0` guard inside `trigger_fires` prevents
+        // livelock because a cycle always runs at the top of the loop.
     }
 
     let report = machine_report(machine);
@@ -367,6 +310,213 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 pub(crate) fn machine_report(machine: SimdMachine) -> Report {
     let w = machine.metrics().nodes_expanded;
     machine.finish(w)
+}
+
+/// Census of one fused expansion cycle: how many PEs ran it and how many
+/// finished it splittable.
+pub(crate) struct CycleStats {
+    /// PEs that expanded a node this cycle (= active-list length before).
+    pub started: usize,
+    /// PEs left with `len >= 2` afterwards.
+    pub busy: usize,
+}
+
+/// One fused expansion + census cycle: a single pass over the dense
+/// active list. Every listed PE holds work, so each pops exactly one
+/// node; its post-push stack state doubles as this cycle's census entry,
+/// which removes the second O(P) sweep of the reference loop. Children
+/// are generated straight into a pooled frame vector — no bounce through
+/// a per-PE child buffer. This is the single-cycle hot path shared by the
+/// fused engine and the macro/par engines' one-cycle steps.
+#[inline]
+pub(crate) fn fused_expansion_cycle<P: TreeProblem>(
+    problem: &P,
+    pes: &mut [SearchStack<P::Node>],
+    active: &mut Vec<usize>,
+    busy_flags: &mut [bool],
+    goals: &mut u64,
+    peak_stack_nodes: &mut usize,
+) -> CycleStats {
+    let started = active.len();
+    let mut busy_count = 0usize;
+    let mut kept = 0usize;
+    for scan in 0..started {
+        let i = active[scan];
+        let stack = &mut pes[i];
+        let node = stack.pop_next().expect("active PEs hold work");
+        if problem.is_goal(&node) {
+            *goals += 1;
+        }
+        stack.push_frame_with(|frame| problem.expand(&node, frame));
+        let len = stack.len();
+        if len == 0 {
+            // Exhausted: leave the active list (rejoining the idle set
+            // implicitly). A PE that empties was not splittable, so its
+            // busy flag is already false.
+            debug_assert!(!busy_flags[i]);
+        } else {
+            busy_flags[i] = len >= 2;
+            busy_count += (len >= 2) as usize;
+            *peak_stack_nodes = (*peak_stack_nodes).max(len);
+            active[kept] = i;
+            kept += 1;
+        }
+    }
+    active.truncate(kept);
+    CycleStats { started, busy: busy_count }
+}
+
+/// Long-lived balancing buffers, reused across every round of every
+/// balancing phase of a run so a warmed-up phase allocates nothing.
+#[derive(Default)]
+pub(crate) struct LbBuffers {
+    pub scratch: MatchScratch,
+    pub pairs: Vec<Pair>,
+    pub incoming: Vec<usize>,
+    pub merge_buf: Vec<usize>,
+}
+
+/// Evaluate the checkpoint trigger (including the Sec. 7 init-phase
+/// protocol) and decide whether a balancing phase runs. Shared by every
+/// engine so the decision logic cannot drift between them. Returns false
+/// when a fire would be a no-op (`busy == 0 || idle == 0`): such a fire
+/// performs no transfer and leaves no trace in the schedule.
+pub(crate) fn trigger_fires(
+    cfg: &EngineConfig,
+    machine: &SimdMachine,
+    in_init: &mut bool,
+    busy: usize,
+    idle: usize,
+) -> bool {
+    let has_work = cfg.p - idle;
+    let fire = if *in_init {
+        let threshold = cfg.init_fraction.unwrap();
+        if (has_work as f64) >= threshold * cfg.p as f64 {
+            *in_init = false;
+            // Hand over to the real trigger starting next cycle; do not
+            // balance on the handover cycle itself.
+            false
+        } else {
+            // Paper Sec. 7: during init every expansion cycle is followed
+            // by a distribution cycle (static x = 0.85 fires whenever
+            // A <= 0.85 P, which holds throughout init).
+            true
+        }
+    } else {
+        let ctx = TriggerCtx {
+            p: cfg.p,
+            busy,
+            idle,
+            phase: *machine.phase(),
+            u_calc: cfg.cost.u_calc,
+            l_estimate: machine.estimated_lb_cost(),
+        };
+        should_balance(cfg.scheme.trigger, &ctx)
+    };
+    fire && busy > 0 && idle > 0
+}
+
+/// One full load-balancing phase (all transfer modes), including the
+/// machine accounting. Shared verbatim by the fused, macro and parallel
+/// engines; the caller has already decided the trigger fires effectively.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn balancing_phase<N>(
+    cfg: &EngineConfig,
+    machine: &mut SimdMachine,
+    matcher: &mut MatchState,
+    pes: &mut [SearchStack<N>],
+    active: &mut Vec<usize>,
+    busy_flags: &mut [bool],
+    busy_count: &mut usize,
+    donations: &mut [u32],
+    lb: &mut LbBuffers,
+    idle: usize,
+) {
+    let mut rounds = 0u32;
+    let mut transfers = 0u64;
+    match cfg.scheme.transfers {
+        TransferMode::Single => {
+            pack_busy(active, busy_flags, &mut lb.scratch.packed_busy);
+            let need = lb.scratch.packed_busy.len().min(cfg.p - active.len());
+            pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
+            matcher.match_round_packed(
+                cfg.p,
+                &lb.scratch.packed_busy,
+                &lb.scratch.packed_idle,
+                &mut lb.pairs,
+            );
+            transfers += apply_pairs(
+                pes,
+                &lb.pairs,
+                cfg.split,
+                donations,
+                busy_flags,
+                busy_count,
+                &mut lb.incoming,
+            );
+            merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
+            rounds = 1;
+        }
+        TransferMode::Multiple => {
+            // Repeat rendezvous rounds until no idle PE can be fed
+            // (required for D^P, Sec. 2.3). Flags and the active list are
+            // updated transfer-by-transfer, so no per-round refresh sweep
+            // is needed; the merge runs each round so the next round's
+            // enumerations see the PEs just fed.
+            let mut idle_left = idle;
+            loop {
+                if *busy_count == 0 || idle_left == 0 {
+                    break;
+                }
+                pack_busy(active, busy_flags, &mut lb.scratch.packed_busy);
+                let need = lb.scratch.packed_busy.len().min(idle_left);
+                pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
+                matcher.match_round_packed(
+                    cfg.p,
+                    &lb.scratch.packed_busy,
+                    &lb.scratch.packed_idle,
+                    &mut lb.pairs,
+                );
+                if lb.pairs.is_empty() {
+                    break;
+                }
+                let done = apply_pairs(
+                    pes,
+                    &lb.pairs,
+                    cfg.split,
+                    donations,
+                    busy_flags,
+                    busy_count,
+                    &mut lb.incoming,
+                );
+                merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
+                idle_left -= done as usize;
+                transfers += done;
+                rounds += 1;
+            }
+        }
+        TransferMode::Equalize => {
+            // FEGS: move counted chunks until node counts are near-uniform
+            // (donors above average feed the poorest). Equalization touches
+            // arbitrary PEs, so rebuild the active list and flags wholesale
+            // afterwards (it is already O(P) per round; one extra sweep
+            // changes nothing asymptotic).
+            rounds = equalize(pes, &mut transfers, donations);
+            active.clear();
+            *busy_count = 0;
+            for (i, stack) in pes.iter().enumerate() {
+                let len = stack.len();
+                busy_flags[i] = len >= 2;
+                *busy_count += (len >= 2) as usize;
+                if len > 0 {
+                    active.push(i);
+                }
+            }
+        }
+    }
+    if rounds > 0 {
+        machine.lb_phase(rounds, transfers);
+    }
 }
 
 /// Pack the busy enumeration (ascending) from the dense active list: busy

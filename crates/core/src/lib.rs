@@ -43,12 +43,14 @@ pub mod engine;
 pub mod macrostep;
 pub mod matcher;
 pub mod nn;
+pub mod parstep;
 pub mod reference;
 pub mod scheme;
 pub mod trigger;
 
-pub use engine::{run_fused, EngineConfig, MacroStep, Outcome};
+pub use engine::{run_fused, run_with, EngineConfig, EngineKind, MacroStep, Outcome};
 pub use macrostep::run;
 pub use matcher::MatchState;
+pub use parstep::run_par;
 pub use reference::run_reference;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};

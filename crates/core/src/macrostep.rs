@@ -38,16 +38,13 @@
 //! costs the same as the fused engine.
 
 use uts_machine::SimdMachine;
-use uts_scan::{MatchScratch, Pair};
 use uts_tree::{SearchStack, TreeProblem};
 
 use crate::engine::{
-    apply_pairs, equalize, machine_report, merge_active, pack_busy, pack_idle_prefix, EngineConfig,
-    MacroStep, Outcome,
+    balancing_phase, machine_report, trigger_fires, EngineConfig, LbBuffers, MacroStep, Outcome,
 };
 use crate::matcher::MatchState;
-use crate::scheme::TransferMode;
-use crate::trigger::{horizon_exceeds_one, safe_horizon, should_balance, HorizonCtx, TriggerCtx};
+use crate::trigger::{horizon_exceeds_one, safe_horizon, HorizonCtx};
 
 /// Run `problem` to exhaustion (or first goal) under `cfg` using
 /// event-horizon macro-steps. This is the default engine; its schedule is
@@ -78,49 +75,15 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
 
-    let mut scratch = MatchScratch::default();
-    let mut pairs: Vec<Pair> = Vec::new();
-    let mut incoming: Vec<usize> = Vec::new();
-    let mut merge_buf: Vec<usize> = Vec::new();
+    let mut lb = LbBuffers::default();
     // Burst lengths of PEs that drained mid-batch (usually empty or tiny).
     let mut death_cycles: Vec<u64> = Vec::new();
     let mut macro_steps: Vec<MacroStep> = Vec::new();
 
     loop {
         // ---- event horizon ----
-        // `stop_on_goal` must observe goals cycle-by-cycle, and the init
-        // phase balances after every cycle by construction; both degrade
-        // gracefully to single-cycle steps.
-        let mut h = if in_init
-            || cfg.stop_on_goal
-            || !horizon_exceeds_one(
-                cfg.scheme.trigger,
-                cfg.p,
-                active.len(),
-                machine.phase(),
-                cfg.cost.u_calc,
-                machine.estimated_lb_cost(),
-            ) {
-            1
-        } else {
-            rebuild_hist(&pes, &active, &mut size_hist);
-            build_count_ge(&size_hist, &mut count_ge);
-            let hctx = HorizonCtx {
-                p: cfg.p,
-                active: active.len(),
-                count_ge: &count_ge,
-                phase: *machine.phase(),
-                u_calc: cfg.cost.u_calc,
-                l_estimate: machine.estimated_lb_cost(),
-            };
-            safe_horizon(cfg.scheme.trigger, &hctx)
-        };
-        if let Some(m) = cfg.max_cycles {
-            // Stop exactly at the budget (the reference overshoots a
-            // zero/exceeded budget by the one cycle it always runs; so do
-            // we, via the `.max(1)`).
-            h = h.min(m.saturating_sub(machine.metrics().n_expand)).max(1);
-        }
+        let h =
+            compute_horizon(cfg, &machine, &pes, &active, in_init, &mut size_hist, &mut count_ge);
 
         let started = active.len();
         let start_cycle = machine.metrics().n_expand;
@@ -130,31 +93,18 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
         if h == 1 {
             // ---- single-cycle fast path (the fused engine's pass) ----
             // A one-cycle step batches nothing; running it through the
-            // burst machinery would only add overhead, so this arm is kept
-            // instruction-for-instruction equal to `run_fused`'s hot loop.
-            for scan in 0..started {
-                let i = active[scan];
-                let stack = &mut pes[i];
-                let node = stack.pop_next().expect("active PEs hold work");
-                if problem.is_goal(&node) {
-                    goals += 1;
-                }
-                stack.push_frame_with(|frame| problem.expand(&node, frame));
-                let len = stack.len();
-                if len == 0 {
-                    // Exhausted: a PE that empties was not splittable, so
-                    // its busy flag is already false.
-                    debug_assert!(!busy_flags[i]);
-                } else {
-                    busy_flags[i] = len >= 2;
-                    busy_count += (len >= 2) as usize;
-                    peak_stack_nodes = peak_stack_nodes.max(len);
-                    active[kept] = i;
-                    kept += 1;
-                }
-            }
-            active.truncate(kept);
-            machine.expansion_cycle(started);
+            // burst machinery would only add overhead, so this arm runs
+            // `run_fused`'s hot loop (the shared helper).
+            let stats = crate::engine::fused_expansion_cycle(
+                problem,
+                &mut pes,
+                &mut active,
+                &mut busy_flags,
+                &mut goals,
+                &mut peak_stack_nodes,
+            );
+            busy_count = stats.busy;
+            machine.expansion_cycle(stats.started);
             ran = 1;
         } else {
             // ---- macro-step: one tight DFS burst per active PE ----
@@ -185,19 +135,7 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
             // batch ends at `h` if anyone survived, else at the last death.
             death_cycles.sort_unstable();
             ran = if kept > 0 { h } else { *death_cycles.last().expect("had active PEs") };
-            let mut alive = started;
-            let mut prev = 0u64;
-            let mut d = 0usize;
-            while d < death_cycles.len() {
-                let e = death_cycles[d];
-                machine.expansion_cycles_run(alive, e - prev);
-                prev = e;
-                while d < death_cycles.len() && death_cycles[d] == e {
-                    d += 1;
-                    alive -= 1;
-                }
-            }
-            machine.expansion_cycles_run(alive, ran - prev);
+            machine.expansion_cycles_with_deaths(started, ran, &death_cycles);
         }
         if cfg.record_horizons {
             macro_steps.push(MacroStep { start_cycle, horizon: h, ran });
@@ -215,113 +153,75 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
             break; // space exhausted
         }
 
-        let has_work = active.len();
-        let busy = busy_count;
-        let idle = cfg.p - has_work;
-
-        let fire = if in_init {
-            let threshold = cfg.init_fraction.unwrap();
-            if (has_work as f64) >= threshold * cfg.p as f64 {
-                in_init = false;
-                false
-            } else {
-                true
-            }
-        } else {
-            let ctx = TriggerCtx {
-                p: cfg.p,
-                busy,
+        // ---- trigger + load-balancing phase (shared checkpoint tail) ----
+        let idle = cfg.p - active.len();
+        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+            balancing_phase(
+                cfg,
+                &mut machine,
+                &mut matcher,
+                &mut pes,
+                &mut active,
+                &mut busy_flags,
+                &mut busy_count,
+                &mut donations,
+                &mut lb,
                 idle,
-                phase: *machine.phase(),
-                u_calc: cfg.cost.u_calc,
-                l_estimate: machine.estimated_lb_cost(),
-            };
-            should_balance(cfg.scheme.trigger, &ctx)
-        };
-        if !fire || busy == 0 || idle == 0 {
-            continue;
-        }
-
-        // ---- load-balancing phase (shared with the fused engine) ----
-        let mut rounds = 0u32;
-        let mut transfers = 0u64;
-        match cfg.scheme.transfers {
-            TransferMode::Single => {
-                pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
-                let need = scratch.packed_busy.len().min(cfg.p - active.len());
-                pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
-                matcher.match_round_packed(
-                    cfg.p,
-                    &scratch.packed_busy,
-                    &scratch.packed_idle,
-                    &mut pairs,
-                );
-                transfers += apply_pairs(
-                    &mut pes,
-                    &pairs,
-                    cfg.split,
-                    &mut donations,
-                    &mut busy_flags,
-                    &mut busy_count,
-                    &mut incoming,
-                );
-                merge_active(&mut active, &mut incoming, &mut merge_buf);
-                rounds = 1;
-            }
-            TransferMode::Multiple => {
-                let mut idle_left = idle;
-                loop {
-                    if busy_count == 0 || idle_left == 0 {
-                        break;
-                    }
-                    pack_busy(&active, &busy_flags, &mut scratch.packed_busy);
-                    let need = scratch.packed_busy.len().min(idle_left);
-                    pack_idle_prefix(&active, cfg.p, need, &mut scratch.packed_idle);
-                    matcher.match_round_packed(
-                        cfg.p,
-                        &scratch.packed_busy,
-                        &scratch.packed_idle,
-                        &mut pairs,
-                    );
-                    if pairs.is_empty() {
-                        break;
-                    }
-                    let done = apply_pairs(
-                        &mut pes,
-                        &pairs,
-                        cfg.split,
-                        &mut donations,
-                        &mut busy_flags,
-                        &mut busy_count,
-                        &mut incoming,
-                    );
-                    merge_active(&mut active, &mut incoming, &mut merge_buf);
-                    idle_left -= done as usize;
-                    transfers += done;
-                    rounds += 1;
-                }
-            }
-            TransferMode::Equalize => {
-                // FEGS touches arbitrary PEs; rebuild the active list and
-                // flags wholesale, as the fused engine does.
-                rounds = equalize(&mut pes, &mut transfers, &mut donations);
-                active.clear();
-                for (i, stack) in pes.iter().enumerate() {
-                    let len = stack.len();
-                    busy_flags[i] = len >= 2;
-                    if len > 0 {
-                        active.push(i);
-                    }
-                }
-            }
-        }
-        if rounds > 0 {
-            machine.lb_phase(rounds, transfers);
+            );
         }
     }
 
     let report = machine_report(machine);
     Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps }
+}
+
+/// Compute the next event horizon for a macro-step engine: a sound lower
+/// bound on the cycles before the trigger could fire effectively, clamped
+/// to the `max_cycles` budget. `stop_on_goal` must observe goals
+/// cycle-by-cycle, and the init phase balances after every cycle by
+/// construction; both degrade gracefully to single-cycle steps.
+/// `size_hist`/`count_ge` are caller-owned scratch, rebuilt only when a
+/// multi-cycle horizon is actually reachable.
+pub(crate) fn compute_horizon<N>(
+    cfg: &EngineConfig,
+    machine: &SimdMachine,
+    pes: &[SearchStack<N>],
+    active: &[usize],
+    in_init: bool,
+    size_hist: &mut Vec<u32>,
+    count_ge: &mut Vec<u32>,
+) -> u64 {
+    let mut h = if in_init
+        || cfg.stop_on_goal
+        || !horizon_exceeds_one(
+            cfg.scheme.trigger,
+            cfg.p,
+            active.len(),
+            machine.phase(),
+            cfg.cost.u_calc,
+            machine.estimated_lb_cost(),
+        ) {
+        1
+    } else {
+        rebuild_hist(pes, active, size_hist);
+        build_count_ge(size_hist, count_ge);
+        let hctx = HorizonCtx {
+            p: cfg.p,
+            active: active.len(),
+            count_ge,
+            phase: *machine.phase(),
+            u_calc: cfg.cost.u_calc,
+            l_estimate: machine.estimated_lb_cost(),
+        };
+        safe_horizon(cfg.scheme.trigger, &hctx)
+    };
+    if let Some(m) = cfg.max_cycles {
+        // Stop exactly at the budget (the reference overshoots a
+        // zero/exceeded budget by the one cycle it always runs; so do we,
+        // via the `.max(1)`).
+        h = h.min(m.saturating_sub(machine.metrics().n_expand)).max(1);
+    }
+    h
 }
 
 /// Rebuild the stack-size histogram over the active PEs: one O(A) sweep,

@@ -1,0 +1,353 @@
+//! Host-parallel event-horizon macro-steps.
+//!
+//! The macro engine ([`crate::macrostep::run`]) already batches the search
+//! phase into per-PE [`uts_tree::SearchStack::expand_burst`] loops between
+//! trigger checkpoints. Within one macro-step those bursts are independent
+//! by construction — each touches only its own PE's stack — which makes
+//! the batch embarrassingly parallel on the host. `run_par` exploits this:
+//! it shards the dense sorted active-PE list into contiguous chunks, runs
+//! each chunk's bursts on its own worker thread into thread-local scratch
+//! (kept-PE list, death cycles, goal/peak totals), and merges the shards
+//! back in PE order on the main thread.
+//!
+//! **Determinism argument** (DESIGN.md §6.2). The merged state is
+//! bit-identical to a sequential pass at any worker count because every
+//! merged quantity is either order-independent or re-ordered canonically:
+//!
+//! * *kept active list* — shards are contiguous chunks of a sorted list,
+//!   so concatenating per-shard kept lists in shard order *is* PE order;
+//! * *death cycles* — sorted before the schedule reconstruction, so shard
+//!   arrival order is irrelevant
+//!   ([`uts_machine::SimdMachine::expansion_cycles_with_deaths`] consumes
+//!   the sorted multiset);
+//! * *goal counts* — exact `u64` sums, commutative;
+//! * *peak stack depth* — a max, commutative;
+//! * *busy counts* — exact sums.
+//!
+//! Everything sequenced — horizon computation, schedule reconstruction,
+//! the trigger checkpoint, and the whole balancing phase — runs on the
+//! main thread between batches, exactly as in the serial macro engine.
+//! No worker observes another worker's state, there are no atomics, no
+//! locks, and no floating-point reassociation, so the schedule cannot
+//! depend on thread count or interleaving even in principle.
+//!
+//! Workers are spawned per macro-step with [`std::thread::scope`] (the
+//! vendored `rayon` facade is a sequential shim, so scoped threads are the
+//! real parallelism primitive here); scratch buffers persist across steps
+//! so a warmed-up step allocates nothing, and small batches skip the
+//! fan-out entirely — `run_par` at one worker is the macro engine plus a
+//! branch.
+
+use uts_machine::SimdMachine;
+use uts_tree::{Burst, SearchStack, TreeProblem};
+
+use crate::engine::{
+    balancing_phase, machine_report, trigger_fires, EngineConfig, LbBuffers, MacroStep, Outcome,
+};
+use crate::macrostep::compute_horizon;
+use crate::matcher::MatchState;
+
+/// Minimum `started_PEs × horizon` product worth paying a thread spawn
+/// for when the worker count was auto-detected. Below this the batch runs
+/// inline on the main thread; the schedule is identical either way, so the
+/// threshold is purely a latency knob. An **explicit**
+/// [`EngineConfig::threads`] bypasses the heuristic — the caller asked for
+/// workers, and the differential suites rely on that to force the sharded
+/// path on trees far too small to cross this bar.
+const FAN_OUT_MIN_WORK: u64 = 4096;
+
+/// Resolve the worker count: explicit config knob, else the conventional
+/// `RAYON_NUM_THREADS` override, else one worker per available core.
+pub(crate) fn resolve_threads(cfg: &EngineConfig) -> usize {
+    cfg.threads
+        .or_else(|| {
+            std::env::var("RAYON_NUM_THREADS").ok().and_then(|s| s.parse().ok()).filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Thread-local results of one shard's burst pass, merged on the main
+/// thread afterwards. Buffers persist across macro-steps (allocation
+/// steadiness, DESIGN.md §6.1) — `reset` only truncates.
+#[derive(Default)]
+struct ShardScratch {
+    /// PEs of this shard still holding work, in ascending PE order.
+    kept: Vec<usize>,
+    /// Burst lengths of this shard's PEs that drained mid-batch.
+    deaths: Vec<u64>,
+    /// Shard PEs left splittable (`len >= 2`).
+    busy: usize,
+    /// Expansion/goal/peak totals over the shard's bursts.
+    totals: Burst,
+}
+
+impl ShardScratch {
+    fn reset(&mut self) {
+        self.kept.clear();
+        self.deaths.clear();
+        self.busy = 0;
+        self.totals = Burst::default();
+    }
+}
+
+/// Run the bursts of one contiguous shard of the active list. `pes` and
+/// `flags` are the slices of the global arrays covering exactly this
+/// shard's PE index range, re-based at `base` (so global PE `i` lives at
+/// `pes[i - base]`).
+fn run_shard<P: TreeProblem>(
+    problem: &P,
+    budget: u64,
+    chunk: &[usize],
+    base: usize,
+    pes: &mut [SearchStack<P::Node>],
+    flags: &mut [bool],
+    scr: &mut ShardScratch,
+) {
+    scr.reset();
+    for &i in chunk {
+        let stack = &mut pes[i - base];
+        let burst = stack.expand_burst(problem, budget);
+        let s1 = stack.len();
+        if s1 == 0 {
+            flags[i - base] = false;
+            scr.deaths.push(burst.expanded);
+        } else {
+            flags[i - base] = s1 >= 2;
+            scr.busy += (s1 >= 2) as usize;
+            scr.kept.push(i);
+        }
+        scr.totals.absorb(burst);
+    }
+}
+
+/// Run `problem` to exhaustion (or first goal) under `cfg`, sharding each
+/// macro-step's bursts across host worker threads. The schedule — every
+/// counter, trace, donation vector and goal count — is bit-identical to
+/// [`crate::macrostep::run`] at any thread count (see the module docs for
+/// the argument, and `tests/engine_differential.rs` for the enforcement).
+pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    assert!(cfg.p > 0, "need at least one processor");
+    let threads = resolve_threads(cfg);
+    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+    machine.record_active_trace(cfg.record_trace);
+    let mut matcher = MatchState::new(cfg.scheme.matching);
+
+    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
+    pes[0] = SearchStack::from_root(problem.root());
+
+    let mut goals = 0u64;
+    let mut truncated = false;
+    let mut donations = vec![0u32; cfg.p];
+    let mut peak_stack_nodes = 1usize;
+    let mut in_init = cfg.init_fraction.is_some();
+
+    // Dense sorted active list + splittable flags, exactly as in the fused
+    // engine (see `engine.rs` for the invariants).
+    let mut active: Vec<usize> = vec![0];
+    let mut busy_flags = vec![false; cfg.p];
+
+    let mut size_hist: Vec<u32> = Vec::new();
+    let mut count_ge: Vec<u32> = Vec::new();
+
+    let mut lb = LbBuffers::default();
+    // Per-worker scratch and the rebuilt active list, both persistent.
+    let mut shards: Vec<ShardScratch> = (0..threads).map(|_| ShardScratch::default()).collect();
+    let mut next_active: Vec<usize> = Vec::new();
+    let mut death_cycles: Vec<u64> = Vec::new();
+    let mut macro_steps: Vec<MacroStep> = Vec::new();
+
+    loop {
+        // ---- event horizon (main thread, identical to the macro engine) ----
+        let h =
+            compute_horizon(cfg, &machine, &pes, &active, in_init, &mut size_hist, &mut count_ge);
+
+        let started = active.len();
+        let start_cycle = machine.metrics().n_expand;
+
+        // ---- burst phase: fan the shards out, or run inline when small ----
+        let fan_out = threads > 1
+            && started >= 2
+            && (cfg.threads.is_some() || started as u64 * h >= FAN_OUT_MIN_WORK);
+        let mut busy_count;
+        let ran;
+        if !fan_out && h == 1 {
+            // Single-cycle step on the main thread: take the fused fast
+            // path, exactly as the serial macro engine does, so one-worker
+            // runs cost the macro engine plus a branch.
+            let stats = crate::engine::fused_expansion_cycle(
+                problem,
+                &mut pes,
+                &mut active,
+                &mut busy_flags,
+                &mut goals,
+                &mut peak_stack_nodes,
+            );
+            busy_count = stats.busy;
+            machine.expansion_cycle(stats.started);
+            ran = 1;
+        } else if !fan_out {
+            // One-worker multi-cycle step: run the macro engine's burst arm
+            // verbatim (in-place compaction of `active`, no shard scratch),
+            // so a non-fanned-out `run_par` is the macro engine plus a
+            // branch — parity, not parity-within-noise.
+            death_cycles.clear();
+            let mut kept = 0usize;
+            busy_count = 0;
+            for scan in 0..started {
+                let i = active[scan];
+                let stack = &mut pes[i];
+                let burst = stack.expand_burst(problem, h);
+                goals += burst.goals;
+                peak_stack_nodes = peak_stack_nodes.max(burst.peak);
+                let s1 = stack.len();
+                if s1 == 0 {
+                    busy_flags[i] = false;
+                    death_cycles.push(burst.expanded);
+                } else {
+                    busy_flags[i] = s1 >= 2;
+                    busy_count += (s1 >= 2) as usize;
+                    active[kept] = i;
+                    kept += 1;
+                }
+            }
+            active.truncate(kept);
+            death_cycles.sort_unstable();
+            ran = if kept > 0 { h } else { *death_cycles.last().expect("had active PEs") };
+            machine.expansion_cycles_with_deaths(started, ran, &death_cycles);
+        } else {
+            // `fan_out` implies `threads > 1 && started >= 2`, so at least
+            // two shards always form here.
+            let used = threads.min(started);
+            // Shard k takes a contiguous chunk of the sorted active list;
+            // its PEs occupy the disjoint index range
+            // `active[chunk_start] ..= active[chunk_end - 1]`, so slicing
+            // `pes`/`busy_flags` at the next chunk's first PE hands every
+            // worker a disjoint `&mut` window — safe parallelism with no
+            // interior mutability.
+            let base_size = started / used;
+            let extra = started % used;
+            let mut jobs = Vec::with_capacity(used);
+            let mut pes_rest: &mut [SearchStack<P::Node>] = &mut pes;
+            let mut flags_rest: &mut [bool] = &mut busy_flags;
+            let mut base = 0usize;
+            let mut chunk_start = 0usize;
+            let mut shard_iter = shards.iter_mut();
+            for k in 0..used {
+                let len = base_size + usize::from(k < extra);
+                let chunk = &active[chunk_start..chunk_start + len];
+                chunk_start += len;
+                let cut =
+                    if chunk_start < started { active[chunk_start] - base } else { pes_rest.len() };
+                let (pes_here, pes_next) = std::mem::take(&mut pes_rest).split_at_mut(cut);
+                let (flags_here, flags_next) = std::mem::take(&mut flags_rest).split_at_mut(cut);
+                jobs.push((chunk, base, pes_here, flags_here, shard_iter.next().expect("shard")));
+                base += cut;
+                pes_rest = pes_next;
+                flags_rest = flags_next;
+            }
+            std::thread::scope(|s| {
+                let mut jobs = jobs;
+                let last = jobs.pop().expect("at least one shard");
+                for (chunk, base, pes_s, flags_s, scr) in jobs {
+                    s.spawn(move || run_shard(problem, h, chunk, base, pes_s, flags_s, scr));
+                }
+                // The main thread takes the final shard instead of idling.
+                let (chunk, base, pes_s, flags_s, scr) = last;
+                run_shard(problem, h, chunk, base, pes_s, flags_s, scr);
+            });
+
+            // ---- merge shards in shard order == PE order (main thread) ----
+            next_active.clear();
+            death_cycles.clear();
+            busy_count = 0;
+            for scr in &shards[..used] {
+                next_active.extend_from_slice(&scr.kept);
+                death_cycles.extend_from_slice(&scr.deaths);
+                busy_count += scr.busy;
+                goals += scr.totals.goals;
+                peak_stack_nodes = peak_stack_nodes.max(scr.totals.peak);
+            }
+            std::mem::swap(&mut active, &mut next_active);
+
+            // ---- reconstruct the lockstep schedule from the deaths ----
+            death_cycles.sort_unstable();
+            ran =
+                if !active.is_empty() { h } else { *death_cycles.last().expect("had active PEs") };
+            machine.expansion_cycles_with_deaths(started, ran, &death_cycles);
+        }
+        if cfg.record_horizons {
+            macro_steps.push(MacroStep { start_cycle, horizon: h, ran });
+        }
+
+        // ---- checkpoint (identical order to the reference loop) ----
+        if cfg.stop_on_goal && goals > 0 {
+            break;
+        }
+        if cfg.max_cycles.is_some_and(|m| machine.metrics().n_expand >= m) {
+            truncated = true;
+            break;
+        }
+        if active.is_empty() {
+            break; // space exhausted
+        }
+
+        // ---- trigger + load-balancing phase (shared checkpoint tail) ----
+        let idle = cfg.p - active.len();
+        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+            balancing_phase(
+                cfg,
+                &mut machine,
+                &mut matcher,
+                &mut pes,
+                &mut active,
+                &mut busy_flags,
+                &mut busy_count,
+                &mut donations,
+                &mut lb,
+                idle,
+            );
+        }
+    }
+
+    let report = machine_report(machine);
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::macrostep::run;
+    use crate::scheme::Scheme;
+    use uts_machine::CostModel;
+    use uts_synth::GeometricTree;
+
+    #[test]
+    fn resolve_threads_prefers_the_config_knob() {
+        let cfg = EngineConfig::new(4, Scheme::gp_dk(), CostModel::cm2()).with_threads(3);
+        assert_eq!(resolve_threads(&cfg), 3);
+    }
+
+    #[test]
+    fn par_matches_macro_at_several_thread_counts() {
+        let tree = GeometricTree { seed: 21, b_max: 8, depth_limit: 6 };
+        let base = EngineConfig::new(64, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+        let serial = run(&tree, &base);
+        for threads in [1usize, 2, 8] {
+            let par = run_par(&tree, &base.clone().with_threads(threads));
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_single_worker_takes_the_inline_path_with_identical_steps() {
+        let tree = GeometricTree { seed: 5, b_max: 8, depth_limit: 6 };
+        let cfg = EngineConfig::new(32, Scheme::gp_static(0.75), CostModel::cm2())
+            .with_horizon_log()
+            .with_threads(1);
+        let par = run_par(&tree, &cfg);
+        let serial = run(&tree, &cfg);
+        assert_eq!(par.macro_steps, serial.macro_steps);
+        assert_eq!(par, serial);
+    }
+}

@@ -156,6 +156,45 @@ impl SimdMachine {
         }
     }
 
+    /// Account a whole batch of consecutive expansion cycles from its
+    /// *death events* — the merge-friendly entry point for macro-stepping
+    /// engines (host-parallel or not). `started` PEs each worked from
+    /// cycle 1 of the batch; `deaths` holds, **sorted ascending**, the
+    /// batch-relative cycle at which each draining PE worked its last
+    /// cycle; survivors worked all `ran` cycles. Exactly equivalent to the
+    /// per-cycle sequence
+    /// `expansion_cycle(worked(1)), …, expansion_cycle(worked(ran))` where
+    /// `worked(j) = started - #{deaths < j}`, but O(distinct death times):
+    /// each constant run of the step function is charged via
+    /// [`SimdMachine::expansion_cycles_run`].
+    ///
+    /// Because every input is a plain count, shard-local results from
+    /// host-parallel workers can be merged (concatenate + sort the death
+    /// lists, sum the started counts per shard → same totals) before a
+    /// single call here reconstructs the lockstep schedule bit-identically.
+    ///
+    /// # Panics
+    /// Panics if `started > P`; debug-asserts that `deaths` is sorted, has
+    /// at most `started` entries, and lies within `1..=ran`.
+    pub fn expansion_cycles_with_deaths(&mut self, started: usize, ran: u64, deaths: &[u64]) {
+        debug_assert!(deaths.len() <= started, "more deaths than participants");
+        debug_assert!(deaths.windows(2).all(|w| w[0] <= w[1]), "deaths must be sorted");
+        debug_assert!(deaths.iter().all(|&e| e >= 1 && e <= ran), "death outside the batch");
+        let mut alive = started;
+        let mut prev = 0u64;
+        let mut d = 0usize;
+        while d < deaths.len() {
+            let e = deaths[d];
+            self.expansion_cycles_run(alive, e - prev);
+            prev = e;
+            while d < deaths.len() && deaths[d] == e {
+                d += 1;
+                alive -= 1;
+            }
+        }
+        self.expansion_cycles_run(alive, ran - prev);
+    }
+
     /// Account one load-balancing phase consisting of `rounds` match+transfer
     /// rounds (1 for single-transfer schemes; ≥1 when the DP trigger performs
     /// multiple work transfers) in which `transfers` stack splits were sent.
@@ -218,7 +257,12 @@ impl SimdMachine {
 
 /// Final accounting of one parallel search, in the paper's vocabulary
 /// (Sec. 3.1). All times are in PE-microseconds except `t_par` (wall).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares every field (including the f64 `efficiency`,
+/// which is derived deterministically from integer counters, so
+/// bit-equality is the right notion): the cross-engine differential
+/// suites assert whole-report equality between engines.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Report {
     /// Number of processors.
     pub p: usize,
@@ -370,6 +414,35 @@ mod tests {
         assert_eq!(rb.nodes_expanded, rs.nodes_expanded);
         assert_eq!(rb.t_idle, rs.t_idle);
         assert_eq!(rb.active_trace, rs.active_trace);
+    }
+
+    #[test]
+    fn death_batches_match_per_cycle_singles_exactly() {
+        // worked(j) = started - #{deaths < j}: replay the same step
+        // function through both entry points and demand equality.
+        let cases: &[(usize, u64, &[u64])] = &[
+            (8, 5, &[]),           // nobody dies
+            (8, 5, &[1, 1, 3, 5]), // deaths at both ends and a duplicate
+            (3, 4, &[2, 2, 2]),    // whole ensemble drains mid-batch
+            (1, 7, &[7]),          // lone PE works the full batch then dies
+        ];
+        for &(started, ran, deaths) in cases {
+            let mut batched = cm2(8);
+            batched.record_active_trace(true);
+            let mut singles = cm2(8);
+            singles.record_active_trace(true);
+            batched.expansion_cycles_with_deaths(started, ran, deaths);
+            for j in 1..=ran {
+                let worked = started - deaths.iter().filter(|&&e| e < j).count();
+                singles.expansion_cycle(worked);
+            }
+            assert_eq!(batched.now(), singles.now(), "{started}/{ran}/{deaths:?}");
+            assert_eq!(batched.phase().cycles, singles.phase().cycles);
+            assert_eq!(batched.phase().busy_pe_cycles, singles.phase().busy_pe_cycles);
+            assert_eq!(batched.phase().idle_pe_cycles, singles.phase().idle_pe_cycles);
+            let (rb, rs) = (batched.finish(99), singles.finish(99));
+            assert_eq!(rb, rs, "{started}/{ran}/{deaths:?}");
+        }
     }
 
     #[test]

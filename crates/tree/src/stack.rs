@@ -41,6 +41,19 @@ pub struct Burst {
     pub peak: usize,
 }
 
+impl Burst {
+    /// Fold another burst's totals into this one: expansions and goals
+    /// add, peaks max. Every component is commutative and associative, so
+    /// host-parallel shards can accumulate per-PE bursts locally and merge
+    /// shard totals in any order while landing on exactly the numbers a
+    /// sequential accumulation over the same bursts would produce.
+    pub fn absorb(&mut self, other: Burst) {
+        self.expanded += other.expanded;
+        self.goals += other.goals;
+        self.peak = self.peak.max(other.peak);
+    }
+}
+
 /// How a donor partitions its untried alternatives (the alpha-splitting
 /// mechanism of Sec. 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -751,6 +764,26 @@ mod tests {
         assert!(s.is_empty());
         let burst2 = s.expand_burst(&Halving, 5);
         assert_eq!(burst2, Burst::default(), "empty stack bursts zero cycles");
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let bursts = [
+            Burst { expanded: 5, goals: 1, peak: 9 },
+            Burst { expanded: 0, goals: 0, peak: 0 },
+            Burst { expanded: 12, goals: 3, peak: 4 },
+            Burst { expanded: 7, goals: 0, peak: 11 },
+        ];
+        let mut fwd = Burst::default();
+        for b in bursts {
+            fwd.absorb(b);
+        }
+        let mut rev = Burst::default();
+        for b in bursts.into_iter().rev() {
+            rev.absorb(b);
+        }
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd, Burst { expanded: 24, goals: 4, peak: 11 });
     }
 
     #[test]

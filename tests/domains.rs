@@ -50,11 +50,23 @@ fn knapsack_agrees_everywhere() {
 
 #[test]
 fn puzzle_iteration_agrees_everywhere() {
+    // A short scramble keeps this in the fast default tier; the deep
+    // 50-step scramble runs in the CI `--ignored` job below.
+    let inst = scrambled(17, 28);
+    let puzzle = Puzzle15::new(inst.board());
+    let bound = ida_star(&puzzle, 60).solution_cost.expect("solvable");
+    let bp = BoundedProblem::new(&puzzle, bound);
+    agree_everywhere(&bp, "15-puzzle iteration");
+}
+
+#[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
+fn deep_puzzle_iteration_agrees_everywhere() {
     let inst = scrambled(17, 50);
     let puzzle = Puzzle15::new(inst.board());
     let bound = ida_star(&puzzle, 70).solution_cost.expect("solvable");
     let bp = BoundedProblem::new(&puzzle, bound);
-    agree_everywhere(&bp, "15-puzzle iteration");
+    agree_everywhere(&bp, "deep 15-puzzle iteration");
 }
 
 #[test]

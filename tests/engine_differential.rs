@@ -1,0 +1,142 @@
+//! Cross-engine differential fuzz: the four executors — the two-sweep
+//! reference oracle, the fused single-cycle pipeline, the event-horizon
+//! macro engine, and the host-parallel macro engine — must produce the
+//! same **full [`Outcome`]** (every counter, trace, donation vector, goal
+//! count and peak, compared with `==`, not just the headline numbers) on
+//! random scheme × trigger × split-policy × tree-shape configurations.
+//! `run_par` must additionally be invariant in the worker count: threads
+//! are a host-side latency knob, never a schedule input.
+//!
+//! Seeded counterexamples persist under `proptest-regressions/` (see the
+//! vendored proptest's `persistence` module) and replay before the random
+//! cases, so a failure found once anywhere keeps guarding forever.
+
+use proptest::prelude::*;
+use simd_tree_search::prelude::*;
+use simd_tree_search::synth::{BinomialTree, GeometricTree};
+
+fn arb_scheme() -> impl Strategy<Value = Scheme> {
+    prop_oneof![
+        (0.05f64..0.95).prop_map(Scheme::gp_static),
+        (0.05f64..0.95).prop_map(Scheme::ngp_static),
+        Just(Scheme::gp_dk()),
+        Just(Scheme::ngp_dk()),
+        Just(Scheme::gp_dp()),
+        Just(Scheme::ngp_dp()),
+        Just(Scheme::fess()),
+        Just(Scheme::fegs()),
+    ]
+}
+
+fn arb_split() -> impl Strategy<Value = SplitPolicy> {
+    prop_oneof![Just(SplitPolicy::Bottom), Just(SplitPolicy::Half), Just(SplitPolicy::Top)]
+}
+
+/// Run every non-reference engine through the [`run_with`] dispatcher and
+/// require whole-`Outcome` equality against the reference oracle. The par
+/// engine runs twice at awkward worker counts (3 does not divide most
+/// active lists evenly; 8 exceeds the shard work threshold's comfort) so
+/// shard-boundary bugs cannot hide behind round numbers.
+fn assert_all_engines_identical<P: simd_tree_search::tree::TreeProblem>(
+    tree: &P,
+    cfg: &EngineConfig,
+) {
+    let reference = run_reference(tree, cfg);
+    for kind in [EngineKind::Fused, EngineKind::Macro, EngineKind::Par] {
+        let got = run_with(tree, &cfg.clone().with_engine(kind));
+        assert_eq!(got, reference, "{} diverged from reference", kind.name());
+    }
+    for threads in [3usize, 8] {
+        let got = run_par(tree, &cfg.clone().with_threads(threads));
+        assert_eq!(got, reference, "par({threads} threads) diverged from reference");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random geometric trees (shape varied too) × schemes × splits ×
+    /// machine sizes: all four engines agree outcome-for-outcome.
+    #[test]
+    fn engines_identical_on_random_geometric_trees(
+        seed in 0u64..5000,
+        scheme in arb_scheme(),
+        split in arb_split(),
+        p_log in 0u32..9,
+        b_max in 2u32..9,
+        depth_limit in 3u32..6,
+    ) {
+        let tree = GeometricTree { seed, b_max, depth_limit };
+        let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+            .with_split(split)
+            .with_trace();
+        assert_all_engines_identical(&tree, &cfg);
+    }
+
+    /// Goal-bearing binomial trees, with and without the stop-on-goal
+    /// early exit and the max_cycles safety valve.
+    #[test]
+    fn engines_identical_on_goal_trees(
+        seed in 0u64..2000,
+        scheme in arb_scheme(),
+        stop_on_goal in any::<bool>(),
+        max_cycles in prop_oneof![Just(None), (1u64..80).prop_map(Some)],
+        p_log in 1u32..8,
+    ) {
+        let tree = BinomialTree::with_q(seed, 16, 4, 0.2);
+        let mut cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace();
+        cfg.stop_on_goal = stop_on_goal;
+        cfg.max_cycles = max_cycles;
+        assert_all_engines_identical(&tree, &cfg);
+    }
+
+    /// Thread-count determinism: the par engine's `Outcome` (metrics
+    /// included) is identical under 1, 2 and 8 workers — and identical to
+    /// the serial macro engine, macro-step log included.
+    #[test]
+    fn par_outcome_is_thread_count_invariant(
+        seed in 0u64..3000,
+        scheme in arb_scheme(),
+        split in arb_split(),
+        p_log in 0u32..10,
+    ) {
+        let tree = GeometricTree { seed, b_max: 8, depth_limit: 5 };
+        let base = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+            .with_split(split)
+            .with_trace()
+            .with_horizon_log();
+        let serial = run(&tree, &base);
+        for threads in [1usize, 2, 8] {
+            let par = run_par(&tree, &base.clone().with_threads(threads));
+            assert_eq!(par, serial, "{} threads={threads}", scheme.name());
+        }
+    }
+}
+
+/// Non-property spot check: every Table 1 scheme at P=256 through the
+/// dispatcher, so a regression names the scheme and engine that diverged.
+#[test]
+fn table1_schemes_identical_across_engines_at_p256() {
+    let tree = GeometricTree { seed: 29, b_max: 8, depth_limit: 6 };
+    for (name, scheme) in Scheme::table1(0.75) {
+        let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace();
+        let reference = run_reference(&tree, &cfg);
+        for kind in [EngineKind::Fused, EngineKind::Macro, EngineKind::Par] {
+            let got = run_with(&tree, &cfg.clone().with_engine(kind));
+            assert_eq!(got, reference, "{name}/{}", kind.name());
+        }
+    }
+}
+
+/// The init phase (dynamic triggers balance every cycle until 85% of PEs
+/// hold work) forces single-cycle macro-steps; the par engine must walk it
+/// identically at a P large enough that init dominates.
+#[test]
+fn par_handles_the_init_phase_at_large_p() {
+    let tree = GeometricTree { seed: 41, b_max: 6, depth_limit: 6 };
+    let cfg = EngineConfig::new(1024, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+    let reference = run_reference(&tree, &cfg);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(run_par(&tree, &cfg.clone().with_threads(threads)), reference);
+    }
+}

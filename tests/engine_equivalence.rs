@@ -49,12 +49,15 @@ fn assert_equivalent(label: &str, got: &Outcome, reference: &Outcome) {
     assert_eq!(got.peak_stack_nodes, reference.peak_stack_nodes, "{label}: peak_stack_nodes");
 }
 
-/// Run all three engines on the same configuration and require bitwise
-/// agreement of macro and fused against the reference oracle.
+/// Run all four engines on the same configuration and require bitwise
+/// agreement of macro, fused and par against the reference oracle. The
+/// par engine runs with two forced workers so the sharded burst path is
+/// exercised even on trees far too small for the fan-out heuristic.
 fn assert_all_engines_agree<P: simd_tree_search::tree::TreeProblem>(tree: &P, cfg: &EngineConfig) {
     let reference = run_reference(tree, cfg);
     assert_equivalent("macro", &run(tree, cfg), &reference);
     assert_equivalent("fused", &run_fused(tree, cfg), &reference);
+    assert_equivalent("par", &run_par(tree, &cfg.clone().with_threads(2)), &reference);
 }
 
 proptest! {
@@ -117,13 +120,47 @@ fn table1_schemes_schedule_identically_at_p256() {
     for (name, scheme) in Scheme::table1(0.75) {
         let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace();
         let reference = run_reference(&tree, &cfg);
-        for (engine, out) in [("macro", run(&tree, &cfg)), ("fused", run_fused(&tree, &cfg))] {
+        for (engine, out) in [
+            ("macro", run(&tree, &cfg)),
+            ("fused", run_fused(&tree, &cfg)),
+            ("par", run_par(&tree, &cfg.clone().with_threads(2))),
+        ] {
             assert_eq!(out.report.n_expand, reference.report.n_expand, "{name}/{engine}");
             assert_eq!(out.report.n_lb, reference.report.n_lb, "{name}/{engine}");
             assert_eq!(out.report.t_idle, reference.report.t_idle, "{name}/{engine}");
             assert_eq!(out.report.t_lb, reference.report.t_lb, "{name}/{engine}");
             assert_eq!(out.report.active_trace, reference.report.active_trace, "{name}/{engine}");
             assert_eq!(out.donations, reference.donations, "{name}/{engine}");
+        }
+    }
+}
+
+/// Exhaustive tier: a dense deterministic cross-product — every Table 1
+/// scheme plus the static extremes, every split policy, a spread of seeds
+/// and machine sizes, all four engines bit-identical. Far too slow for the
+/// default `cargo test` (debug) run, so it hides behind `#[ignore]`; CI
+/// runs it in a dedicated `--ignored` job, and locally:
+///
+/// ```text
+/// cargo test --release --test engine_equivalence -- --ignored
+/// ```
+#[test]
+#[ignore = "exhaustive cross-product; run with --ignored (CI does)"]
+fn exhaustive_engine_cross_product() {
+    let mut schemes: Vec<Scheme> = Scheme::table1(0.75).map(|(_, s)| s).to_vec();
+    schemes.extend([Scheme::gp_static(0.05), Scheme::ngp_static(0.95), Scheme::fegs()]);
+    let splits = [SplitPolicy::Bottom, SplitPolicy::Half, SplitPolicy::Top];
+    for seed in [0u64, 3, 17, 41] {
+        let tree = GeometricTree { seed, b_max: 7, depth_limit: 6 };
+        for &scheme in &schemes {
+            for &split in &splits {
+                for p_log in [0u32, 3, 6, 9] {
+                    let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+                        .with_split(split)
+                        .with_trace();
+                    assert_all_engines_agree(&tree, &cfg);
+                }
+            }
         }
     }
 }

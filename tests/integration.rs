@@ -10,14 +10,19 @@ use simd_tree_search::synth::GeometricTree;
 use simd_tree_search::tree::ida::ida_star;
 use simd_tree_search::tree::problem::BoundedProblem;
 
-/// A mid-sized 15-puzzle workload (~100k nodes) shared by the tests.
+/// A mid-sized 15-puzzle workload (~100k nodes) shared by the heavy
+/// (`#[ignore]`d) tests. The IDA* pre-pass dominates each test's debug
+/// wall time, so it runs once and is cached — `Puzzle15` is `Copy`.
 fn puzzle_workload() -> (Puzzle15, u32, u64) {
-    let inst = scrambled(23, 60);
-    let puzzle = Puzzle15::new(inst.board());
-    let ida = ida_star(&puzzle, 70);
-    let bound = ida.solution_cost.expect("solvable");
-    let w = ida.final_iteration().expanded;
-    (puzzle, bound, w)
+    static WORKLOAD: std::sync::OnceLock<(Puzzle15, u32, u64)> = std::sync::OnceLock::new();
+    *WORKLOAD.get_or_init(|| {
+        let inst = scrambled(23, 60);
+        let puzzle = Puzzle15::new(inst.board());
+        let ida = ida_star(&puzzle, 70);
+        let bound = ida.solution_cost.expect("solvable");
+        let w = ida.final_iteration().expanded;
+        (puzzle, bound, w)
+    })
 }
 
 fn all_schemes() -> Vec<Scheme> {
@@ -27,6 +32,7 @@ fn all_schemes() -> Vec<Scheme> {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn puzzle_search_is_anomaly_free_under_every_scheme() {
     let (puzzle, bound, w) = puzzle_workload();
     let bp = BoundedProblem::new(&puzzle, bound);
@@ -40,6 +46,7 @@ fn puzzle_search_is_anomaly_free_under_every_scheme() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn balancing_phases_never_exceed_expansion_cycles() {
     // Structural guarantee from Sec. 2.1: at least one expansion cycle runs
     // between consecutive balancing phases.
@@ -58,6 +65,7 @@ fn balancing_phases_never_exceed_expansion_cycles() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn gp_beats_ngp_at_high_threshold() {
     // The headline Table 2 effect at a paper-like configuration.
     let (puzzle, bound, _) = puzzle_workload();
@@ -74,6 +82,7 @@ fn gp_beats_ngp_at_high_threshold() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn dk_overheads_within_twice_the_best_static() {
     // Sec. 6.2: (T_idle + T_lb) under D^K is bounded by twice the optimal
     // static trigger's. We compare against the best of a static grid (an
@@ -102,6 +111,7 @@ fn dk_overheads_within_twice_the_best_static() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn analytic_optimal_trigger_is_near_empirical_argmax() {
     let (puzzle, bound, w) = puzzle_workload();
     let bp = BoundedProblem::new(&puzzle, bound);
@@ -134,6 +144,28 @@ fn analytic_optimal_trigger_is_near_empirical_argmax() {
         e_at_xo >= best_e - 0.10,
         "E at analytic x_o = {xo:.2} is {e_at_xo:.2}, grid best {best_e:.2}"
     );
+}
+
+/// Fast default-tier stand-in for the heavy puzzle tests above: the
+/// anomaly-free contract and the `N_lb <= N_expand` structural bound on a
+/// small scramble, one scheme per trigger family. The full ~100k-node
+/// versions are `#[ignore]`d and run in the CI `--ignored` job.
+#[test]
+fn puzzle_smoke_is_anomaly_free() {
+    let inst = scrambled(23, 30);
+    let puzzle = Puzzle15::new(inst.board());
+    let ida = ida_star(&puzzle, 60);
+    let bound = ida.solution_cost.expect("solvable");
+    let w = ida.final_iteration().expanded;
+    let bp = BoundedProblem::new(&puzzle, bound);
+    let serial_goals = serial_dfs(&bp).goals;
+    for scheme in [Scheme::gp_static(0.8), Scheme::gp_dk(), Scheme::fegs()] {
+        let out = run(&bp, &EngineConfig::new(128, scheme, CostModel::cm2()));
+        assert_eq!(out.report.nodes_expanded, w, "{}", scheme.name());
+        assert_eq!(out.goals, serial_goals, "{}", scheme.name());
+        assert!(out.report.accounting_identity_holds(), "{}", scheme.name());
+        assert!(out.report.n_lb <= out.report.n_expand, "{}", scheme.name());
+    }
 }
 
 #[test]
@@ -190,6 +222,7 @@ fn mimd_is_at_least_as_efficient_as_lockstep_at_same_point() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn higher_balancing_cost_helps_dk_over_dp() {
     // The Table 5 effect, at integration-test scale.
     let (puzzle, bound, _) = puzzle_workload();
@@ -206,6 +239,7 @@ fn higher_balancing_cost_helps_dk_over_dp() {
 }
 
 #[test]
+#[ignore = "heavy 15-puzzle workload; run with --ignored (CI does)"]
 fn speedup_grows_with_machine_size_until_saturation() {
     let (puzzle, bound, _) = puzzle_workload();
     let bp = BoundedProblem::new(&puzzle, bound);
