@@ -23,6 +23,10 @@
 //! which regime was measured.
 //!
 //! `--quick` shrinks the tree and machine sizes for CI smoke runs.
+//! `--report PATH` additionally writes a ledger-enabled run-report
+//! (`uts_core::run_report_json`) for the first workload — donation spread
+//! plus per-phase trigger provenance. The timed floor runs always keep the
+//! ledger off, so `--report` never perturbs the regression gate.
 //! `--check` exits non-zero if an engine regresses past its floor —
 //! fused >= 0.9x reference, macro >= 0.9x fused, and parallelism-aware
 //! par floors: par >= 0.85x macro always (parity within noise, any host),
@@ -55,7 +59,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use uts_core::{run, run_fused, run_par, run_reference, EngineConfig, Outcome, Scheme};
+use uts_core::{
+    run, run_fused, run_par, run_reference, run_report_json, EngineConfig, Outcome, Scheme,
+};
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
 use uts_tree::{serial_dfs, TreeProblem};
@@ -121,11 +127,25 @@ fn main() {
             })
         })
         .unwrap_or_else(|| "BENCH_engine.json".to_string());
+    let report_idx = args.iter().position(|a| a == "--report");
+    let report_path = report_idx.map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --report requires a path");
+            std::process::exit(2);
+        })
+    });
     for (i, a) in args.iter().enumerate() {
         let is_out_value = out_idx == Some(i.wrapping_sub(1));
-        if a != "--quick" && a != "--check" && a != "--out" && !is_out_value {
+        let is_report_value = report_idx == Some(i.wrapping_sub(1));
+        if a != "--quick"
+            && a != "--check"
+            && a != "--out"
+            && a != "--report"
+            && !is_out_value
+            && !is_report_value
+        {
             eprintln!(
-                "error: unknown argument `{a}` (usage: bench_engine [--quick] [--check] [--out PATH])"
+                "error: unknown argument `{a}` (usage: bench_engine [--quick] [--check] [--out PATH] [--report PATH])"
             );
             std::process::exit(2);
         }
@@ -241,6 +261,24 @@ fn main() {
         Err(e) => {
             eprintln!("could not write {out_path}: {e}");
             std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = report_path {
+        // One untimed, ledger-enabled run on the first workload at its
+        // smallest machine size; the timed measurements above never see
+        // the ledger.
+        let case = &cases[0];
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: case.depth_limit };
+        let p = case.ps[0];
+        let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2()).with_ledger();
+        let report = run_report_json(&cfg, &run(&tree, &cfg));
+        match std::fs::write(&path, &report) {
+            Ok(()) => eprintln!("wrote {path} (ledger run-report, {} P={p})", case.label),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -1,18 +1,23 @@
 //! Regenerate the paper's tables.
 //!
 //! ```text
-//! cargo run --release -p uts-bench --bin tables -- [table1|table2|table3|table4|table5|table6|all] [--quick]
+//! cargo run --release -p uts-bench --bin tables -- [table1|table2|table3|table4|table5|table6|ledger|all] [--quick]
 //! ```
 //!
 //! Each table prints the measured values in the paper's layout, followed by
 //! a paper-vs-measured efficiency comparison where the paper reports one.
+//! `ledger` is extra-paper: the Sec. 2.2 donation-burden claim measured
+//! directly — GP vs nGP donation spread on a Table-2 workload, followed by
+//! the full JSON run-report (`uts_core::run_report_json`) of the GP run.
 
 use std::time::Instant;
 
 use uts_analysis::table::{fmt_e, TextTable};
 use uts_analysis::{isoeff_table, optimal_static_trigger, TriggerParams};
 use uts_bench::runner::{measure, Cell, PAPER_P, QUICK_P, TABLE2_XS};
-use uts_bench::workloads::{quick_workloads, table5_workload, table_workloads, PaperWorkload};
+use uts_bench::workloads::{
+    quick_workloads, run_workload_ledger, table5_workload, table_workloads, PaperWorkload,
+};
 use uts_bench::{parse_quick, sweep};
 use uts_core::Scheme;
 use uts_machine::CostModel;
@@ -33,6 +38,7 @@ fn main() {
         "table4" => table4(&workloads, p),
         "table5" => table5(p, quick),
         "table6" => table6(quick),
+        "ledger" => ledger_report(&workloads, p),
         "all" => {
             table1();
             table2(&workloads, p);
@@ -40,9 +46,10 @@ fn main() {
             table4(&workloads, p);
             table5(p, quick);
             table6(quick);
+            ledger_report(&workloads, p);
         }
         other => {
-            eprintln!("unknown table `{other}` (expected table1..table6 or all)");
+            eprintln!("unknown table `{other}` (expected table1..table6, ledger, or all)");
             std::process::exit(2);
         }
     }
@@ -329,6 +336,47 @@ fn table6(quick: bool) {
             }
         }
     }
+}
+
+/// Extra-paper ledger report: the Sec. 2.2 donation-burden claim measured
+/// directly. GP's rotating global pointer should leave every donor with
+/// `n` or `n+1` donations (max/mean ≤ 2) where nGP's fixed enumeration
+/// piles the burden onto low-index PEs; the full JSON run-report of the
+/// GP run (per-phase trigger provenance included) follows the table.
+fn ledger_report(workloads: &[PaperWorkload], p: usize) {
+    println!("== Ledger: donation spread, GP vs nGP (S^0.90, P={p}) ==\n");
+    let wl = &workloads[0];
+    let cost = CostModel::cm2();
+    let mut t = TextTable::new(vec![
+        "scheme".to_string(),
+        "transfers".to_string(),
+        "donors".to_string(),
+        "max".to_string(),
+        "max/mean".to_string(),
+        "gini".to_string(),
+    ]);
+    let mut gp_report = None;
+    for (label, scheme) in
+        [("nGP-S^0.90", Scheme::ngp_static(0.9)), ("GP-S^0.90", Scheme::gp_static(0.9))]
+    {
+        let (cfg, out) = run_workload_ledger(wl, scheme, p, cost);
+        let ledger = out.ledger.as_ref().expect("ledger was requested");
+        let s = ledger.donation_spread();
+        t.row(vec![
+            label.to_string(),
+            s.total.to_string(),
+            s.donors.to_string(),
+            s.max.to_string(),
+            format!("{:.2}", s.max_over_mean),
+            format!("{:.3}", s.gini),
+        ]);
+        if scheme.matching == uts_core::Matching::Gp {
+            gp_report = Some(uts_core::run_report_json(&cfg, &out));
+        }
+    }
+    println!("{t}");
+    println!("-- GP-S^0.90 run-report (JSON) --");
+    print!("{}", gp_report.expect("GP run executed"));
 }
 
 /// Shared: print paper-vs-measured efficiency comparison rows.

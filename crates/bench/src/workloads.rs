@@ -102,6 +102,21 @@ pub fn run_workload(
     run(&bp, &cfg)
 }
 
+/// Like [`run_workload`] but with the load-balance ledger recorded;
+/// returns the config too so callers can render the JSON run-report.
+pub fn run_workload_ledger(
+    wl: &PaperWorkload,
+    scheme: Scheme,
+    p: usize,
+    cost: CostModel,
+) -> (EngineConfig, Outcome) {
+    let puzzle = wl.puzzle();
+    let bp = BoundedProblem::new(&puzzle, wl.bound);
+    let cfg = EngineConfig::new(p, scheme, cost).with_ledger();
+    let out = run(&bp, &cfg);
+    (cfg, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,7 +55,8 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
         }
     };
     let bp = BoundedProblem::new(&puzzle, bound);
-    let cfg = EngineConfig::new(p, scheme, cost);
+    let mut cfg = EngineConfig::new(p, scheme, cost);
+    cfg.record_ledger = flags.get_parsed("ledger", false)?;
     let out = run(&bp, &cfg);
     println!("scheme        : {}", scheme.name());
     println!("P             : {p}");
@@ -69,6 +70,18 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
     println!("T_par (virt s): {:.2}", out.report.t_par as f64 / 1e6);
     println!("speedup       : {:.1}", out.report.speedup());
     println!("efficiency    : {:.3}", out.report.efficiency);
+    if let Some(ledger) = &out.ledger {
+        let s = ledger.donation_spread();
+        println!("-- ledger ({} balancing phases) --", ledger.phases.len());
+        println!("donors        : {} of {p} PEs (max {} donations)", s.donors, s.max);
+        println!("spread        : max/mean {:.2}, gini {:.3}", s.max_over_mean, s.gini);
+        let lb_cost: u64 = ledger.phases.iter().map(|ph| ph.cost.total).sum();
+        let setup: u64 = ledger.phases.iter().map(|ph| ph.cost.setup).sum();
+        let transfer: u64 = ledger.phases.iter().map(|ph| ph.cost.transfer).sum();
+        println!(
+            "phase cost    : {lb_cost} us total (pre-mult: setup {setup}, transfer {transfer})"
+        );
+    }
     Ok(())
 }
 

@@ -15,7 +15,7 @@ sts — unstructured tree search on (simulated) SIMD parallel computers
 USAGE:
   sts solve   [--seed S] [--walk N | --korf K]          serial IDA* on a 15-puzzle
   sts run     [--p P] [--scheme SCHEME] [--cost MODEL] [--lb-mult M]
-              [--seed S] [--walk N | --korf K] [--bound B]
+              [--seed S] [--walk N | --korf K] [--bound B] [--ledger true]
                                                          parallel SIMD search
   sts mimd    [--p P] [--policy grr|arr|rp|nn] [--seed S] [--walk N]
                                                          MIMD work stealing

@@ -23,13 +23,15 @@
 //! [`crate::reference`] (enforced by property tests). See DESIGN.md §6,
 //! "Engine hot path".
 
-use uts_machine::{CostModel, Report, SimdMachine};
+use uts_machine::{
+    CostModel, LbPhaseRecord, Ledger, Report, SimdMachine, TriggerFiring, TriggerKind,
+};
 use uts_scan::{MatchScratch, Pair};
 use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
 
 use crate::matcher::MatchState;
-use crate::scheme::{Scheme, TransferMode};
-use crate::trigger::{should_balance, TriggerCtx};
+use crate::scheme::{Scheme, TransferMode, Trigger};
+use crate::trigger::{should_balance, static_threshold, TriggerCtx};
 
 /// Which executor [`run_with`] dispatches to. All four produce
 /// bit-identical lockstep schedules (the contract enforced by
@@ -91,6 +93,14 @@ pub struct EngineConfig {
     /// ([`Outcome::macro_steps`]); ignored by the fused and reference
     /// engines. For horizon-soundness diagnostics and tests.
     pub record_horizons: bool,
+    /// Record the load-balance ledger ([`Outcome::ledger`]): per-PE
+    /// donation/receipt counts and per-phase trigger provenance + cost
+    /// attribution. Off by default — the engines skip all ledger work
+    /// (including the single-cycle engines' horizon replay) when unset, so
+    /// the hot path pays nothing. The ledger is part of the bit-identical
+    /// cross-engine contract: every engine and any thread count produces
+    /// the same one.
+    pub record_ledger: bool,
     /// Which executor [`run_with`] dispatches to (the direct entry points
     /// `run`, `run_fused`, `run_reference`, `run_par` ignore it).
     pub engine: EngineKind,
@@ -116,6 +126,7 @@ impl EngineConfig {
             stop_on_goal: false,
             max_cycles: None,
             record_horizons: false,
+            record_ledger: false,
             engine: EngineKind::Macro,
             threads: None,
         }
@@ -130,6 +141,12 @@ impl EngineConfig {
     /// Builder: record the macro engine's event-horizon steps.
     pub fn with_horizon_log(mut self) -> Self {
         self.record_horizons = true;
+        self
+    }
+
+    /// Builder: record the load-balance ledger.
+    pub fn with_ledger(mut self) -> Self {
+        self.record_ledger = true;
         self
     }
 
@@ -193,6 +210,12 @@ pub struct Outcome {
     /// [`EngineConfig::record_horizons`] is set (empty otherwise, and
     /// always empty for the fused and reference engines).
     pub macro_steps: Vec<MacroStep>,
+    /// The load-balance ledger, recorded only when
+    /// [`EngineConfig::record_ledger`] is set. Unlike `macro_steps` it is
+    /// engine-invariant: all four engines produce the identical ledger
+    /// (the single-cycle engines replay the macro engine's horizon
+    /// schedule for the provenance records).
+    pub ledger: Option<Ledger>,
 }
 
 /// One event-horizon macro-step taken by [`crate::macrostep::run`]: at
@@ -242,6 +265,19 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     // `init_fraction` of the PEs have work.
     let mut in_init = cfg.init_fraction.is_some();
 
+    // Ledger recording replays the macro engine's horizon schedule so the
+    // per-phase provenance records (which carry the horizon) stay
+    // engine-invariant: a window of `window_h` cycles is certified at each
+    // macro-step boundary, and horizon soundness guarantees no effective
+    // fire before the window's final checkpoint — the fused loop's
+    // per-cycle trigger evaluation inside the window is provably inert.
+    // All of this is skipped when the ledger is off.
+    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
+    let mut size_hist: Vec<u32> = Vec::new();
+    let mut count_ge: Vec<u32> = Vec::new();
+    let mut window_h = 0u64;
+    let mut h_remaining = 0u64;
+
     // Dense list of PEs holding work, kept sorted by index. Expansion and
     // census iterate this list only; a PE leaves it when its stack empties
     // (during the fused pass) and re-enters when a transfer feeds it. Its
@@ -259,6 +295,22 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     let mut lb = LbBuffers::default();
 
     loop {
+        if recorder.is_some() {
+            if h_remaining == 0 {
+                window_h = crate::macrostep::compute_horizon(
+                    cfg,
+                    &machine,
+                    |i| pes[i].len(),
+                    &active,
+                    in_init,
+                    &mut size_hist,
+                    &mut count_ge,
+                );
+                h_remaining = window_h;
+            }
+            h_remaining -= 1;
+        }
+
         // ---- fused expansion + census (one pass over the active list) ----
         let stats = fused_expansion_cycle(
             problem,
@@ -284,7 +336,20 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+        if checkpoint_trigger(
+            cfg,
+            &machine,
+            &mut in_init,
+            busy_count,
+            idle,
+            window_h,
+            &mut recorder,
+        ) {
+            debug_assert!(
+                recorder.is_none() || h_remaining == 0,
+                "effective fire inside a certified horizon window"
+            );
+            h_remaining = 0;
             balancing_phase(
                 cfg,
                 &mut machine,
@@ -296,6 +361,7 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut recorder,
             );
         }
         // If no transfer was possible the trigger may keep firing, but the
@@ -304,7 +370,16 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     }
 
     let report = machine_report(machine);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps: Vec::new() }
+    let ledger = recorder.map(|r| r.finish(&donations));
+    Outcome {
+        report,
+        goals,
+        truncated,
+        donations,
+        peak_stack_nodes,
+        macro_steps: Vec::new(),
+        ledger,
+    }
 }
 
 pub(crate) fn machine_report(machine: SimdMachine) -> Report {
@@ -376,6 +451,116 @@ pub(crate) struct LbBuffers {
     pub merge_buf: Vec<usize>,
 }
 
+/// In-flight ledger state while a run executes: receipts accumulate
+/// transfer-by-transfer, phase records are armed at the firing checkpoint
+/// (capturing the trigger operands *before* balancing resets the phase
+/// counters) and settled after the balancing phase runs. All mutation
+/// happens in the engines' serial sections — the trigger checkpoint and
+/// the balancing phase run on the main thread in every engine — so no
+/// cross-thread merging exists to get wrong, which is the determinism
+/// argument (DESIGN.md §7).
+pub(crate) struct LedgerRecorder {
+    receipts: Vec<u32>,
+    phases: Vec<LbPhaseRecord>,
+    /// Armed by [`checkpoint_trigger`] on an effective fire: the captured
+    /// operands plus the event horizon of the macro step ending here.
+    pending: Option<(TriggerFiring, u64)>,
+}
+
+impl LedgerRecorder {
+    pub(crate) fn new(p: usize) -> Self {
+        Self { receipts: vec![0; p], phases: Vec::new(), pending: None }
+    }
+
+    fn arm(&mut self, firing: TriggerFiring, horizon: u64) {
+        debug_assert!(self.pending.is_none(), "previous firing never settled");
+        self.pending = Some((firing, horizon));
+    }
+
+    /// Per-PE receipt counters, bumped by the transfer helpers.
+    pub(crate) fn receipts_mut(&mut self) -> &mut [u32] {
+        &mut self.receipts
+    }
+
+    /// Close out the armed firing after its balancing phase ran. A phase
+    /// that performed no rounds charged the machine nothing and left no
+    /// `PhaseEvent`, so the ledger drops it too (the fire is abandoned).
+    pub(crate) fn settle(
+        &mut self,
+        cfg: &EngineConfig,
+        machine: &SimdMachine,
+        rounds: u32,
+        transfers: u64,
+    ) {
+        let (firing, horizon) = self.pending.take().expect("settle without an armed firing");
+        if rounds > 0 {
+            self.phases.push(LbPhaseRecord {
+                at_cycle: machine.metrics().n_expand,
+                firing,
+                horizon,
+                rounds,
+                transfers,
+                cost: cfg.cost.lb_phase_cost_breakdown(cfg.p, rounds),
+            });
+        }
+    }
+
+    pub(crate) fn finish(self, donations: &[u32]) -> Ledger {
+        debug_assert!(self.pending.is_none(), "run ended with an unsettled firing");
+        Ledger { donations: donations.to_vec(), receipts: self.receipts, phases: self.phases }
+    }
+}
+
+/// [`trigger_fires`] plus ledger provenance: on an effective fire, capture
+/// the trigger operands (which balancing is about to reset) and the event
+/// horizon of the step ending at this checkpoint. Every engine calls this
+/// at its checkpoint tail; `horizon` is the macro step's computed horizon
+/// (the single-cycle engines replay the same schedule when the ledger is
+/// on, and pass 0 when it is off — the value is never read then).
+pub(crate) fn checkpoint_trigger(
+    cfg: &EngineConfig,
+    machine: &SimdMachine,
+    in_init: &mut bool,
+    busy: usize,
+    idle: usize,
+    horizon: u64,
+    recorder: &mut Option<LedgerRecorder>,
+) -> bool {
+    let was_init = *in_init;
+    let fires = trigger_fires(cfg, machine, in_init, busy, idle);
+    if fires {
+        if let Some(rec) = recorder.as_mut() {
+            let phase = machine.phase();
+            let u = cfg.cost.u_calc;
+            let kind = if was_init {
+                TriggerKind::Init
+            } else {
+                match cfg.scheme.trigger {
+                    Trigger::Static { x } => {
+                        TriggerKind::Static { threshold: static_threshold(x, cfg.p) as u32 }
+                    }
+                    Trigger::Dp => TriggerKind::Dp,
+                    Trigger::Dk => TriggerKind::Dk,
+                    Trigger::AnyIdle => TriggerKind::AnyIdle,
+                }
+            };
+            rec.arm(
+                TriggerFiring {
+                    kind,
+                    busy: busy as u32,
+                    idle: idle as u32,
+                    w: phase.busy_pe_cycles * u,
+                    t: phase.cycles * u,
+                    w_idle: phase.idle_pe_cycles * u,
+                    l_estimate: machine.estimated_lb_cost(),
+                },
+                horizon,
+            );
+        }
+    }
+    fires
+}
+
 /// Evaluate the checkpoint trigger (including the Sec. 7 init-phase
 /// protocol) and decide whether a balancing phase runs. Shared by every
 /// engine so the decision logic cannot drift between them. Returns false
@@ -431,6 +616,7 @@ pub(crate) fn balancing_phase<N>(
     donations: &mut [u32],
     lb: &mut LbBuffers,
     idle: usize,
+    recorder: &mut Option<LedgerRecorder>,
 ) {
     let mut rounds = 0u32;
     let mut transfers = 0u64;
@@ -453,6 +639,7 @@ pub(crate) fn balancing_phase<N>(
                 busy_flags,
                 busy_count,
                 &mut lb.incoming,
+                recorder.as_mut().map(LedgerRecorder::receipts_mut),
             );
             merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
             rounds = 1;
@@ -488,6 +675,7 @@ pub(crate) fn balancing_phase<N>(
                     busy_flags,
                     busy_count,
                     &mut lb.incoming,
+                    recorder.as_mut().map(LedgerRecorder::receipts_mut),
                 );
                 merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
                 idle_left -= done as usize;
@@ -501,7 +689,12 @@ pub(crate) fn balancing_phase<N>(
             // arbitrary PEs, so rebuild the active list and flags wholesale
             // afterwards (it is already O(P) per round; one extra sweep
             // changes nothing asymptotic).
-            rounds = equalize(pes, &mut transfers, donations);
+            rounds = equalize(
+                pes,
+                &mut transfers,
+                donations,
+                recorder.as_mut().map(LedgerRecorder::receipts_mut),
+            );
             active.clear();
             *busy_count = 0;
             for (i, stack) in pes.iter().enumerate() {
@@ -516,6 +709,9 @@ pub(crate) fn balancing_phase<N>(
     }
     if rounds > 0 {
         machine.lb_phase(rounds, transfers);
+    }
+    if let Some(rec) = recorder.as_mut() {
+        rec.settle(cfg, machine, rounds, transfers);
     }
 }
 
@@ -561,6 +757,7 @@ fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
 /// must (re)join the active list. Transfers run through
 /// [`SearchStack::split_into`], which recycles frame vectors on both sides
 /// instead of allocating a fresh stack per donation.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_pairs<N>(
     pes: &mut [SearchStack<N>],
     pairs: &[Pair],
@@ -569,6 +766,7 @@ pub(crate) fn apply_pairs<N>(
     busy_flags: &mut [bool],
     busy_count: &mut usize,
     incoming: &mut Vec<usize>,
+    mut receipts: Option<&mut [u32]>,
 ) -> u64 {
     let mut done = 0;
     for pair in pairs {
@@ -577,6 +775,9 @@ pub(crate) fn apply_pairs<N>(
         debug_assert!(receiver.is_empty());
         if donor.split_into(split, receiver) {
             donations[pair.donor] += 1;
+            if let Some(r) = receipts.as_deref_mut() {
+                r[pair.receiver] += 1;
+            }
             done += 1;
             // Donor stays non-empty but may drop below the busy threshold.
             let donor_busy = donor.can_split();
@@ -631,6 +832,7 @@ pub(crate) fn equalize<N>(
     pes: &mut [SearchStack<N>],
     transfers: &mut u64,
     donations: &mut [u32],
+    mut receipts: Option<&mut [u32]>,
 ) -> u32 {
     let p = pes.len();
     let total: usize = pes.iter().map(SearchStack::len).sum();
@@ -655,6 +857,9 @@ pub(crate) fn equalize<N>(
             if let Some(chunk) = pes[d].split_count(excess.min(want)) {
                 pes[r].merge_from(chunk);
                 donations[d] += 1;
+                if let Some(rc) = receipts.as_deref_mut() {
+                    rc[r] += 1;
+                }
                 *transfers += 1;
                 moved_any = true;
             }

@@ -45,6 +45,7 @@ pub mod matcher;
 pub mod nn;
 pub mod parstep;
 pub mod reference;
+pub mod report_json;
 pub mod scheme;
 pub mod trigger;
 
@@ -53,4 +54,5 @@ pub use macrostep::run;
 pub use matcher::MatchState;
 pub use parstep::run_par;
 pub use reference::run_reference;
+pub use report_json::run_report_json;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};

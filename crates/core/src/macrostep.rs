@@ -41,7 +41,8 @@ use uts_machine::SimdMachine;
 use uts_tree::{SearchStack, TreeProblem};
 
 use crate::engine::{
-    balancing_phase, machine_report, trigger_fires, EngineConfig, LbBuffers, MacroStep, Outcome,
+    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, LedgerRecorder,
+    MacroStep, Outcome,
 };
 use crate::matcher::MatchState;
 use crate::trigger::{horizon_exceeds_one, safe_horizon, HorizonCtx};
@@ -79,11 +80,19 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     // Burst lengths of PEs that drained mid-batch (usually empty or tiny).
     let mut death_cycles: Vec<u64> = Vec::new();
     let mut macro_steps: Vec<MacroStep> = Vec::new();
+    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
 
     loop {
         // ---- event horizon ----
-        let h =
-            compute_horizon(cfg, &machine, &pes, &active, in_init, &mut size_hist, &mut count_ge);
+        let h = compute_horizon(
+            cfg,
+            &machine,
+            |i| pes[i].len(),
+            &active,
+            in_init,
+            &mut size_hist,
+            &mut count_ge,
+        );
 
         let started = active.len();
         let start_cycle = machine.metrics().n_expand;
@@ -155,7 +164,7 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+        if checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder) {
             balancing_phase(
                 cfg,
                 &mut machine,
@@ -167,12 +176,14 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut recorder,
             );
         }
     }
 
     let report = machine_report(machine);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps }
+    let ledger = recorder.map(|r| r.finish(&donations));
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps, ledger }
 }
 
 /// Compute the next event horizon for a macro-step engine: a sound lower
@@ -181,11 +192,14 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 /// cycle-by-cycle, and the init phase balances after every cycle by
 /// construction; both degrade gracefully to single-cycle steps.
 /// `size_hist`/`count_ge` are caller-owned scratch, rebuilt only when a
-/// multi-cycle horizon is actually reachable.
-pub(crate) fn compute_horizon<N>(
+/// multi-cycle horizon is actually reachable. `stack_len` maps a PE index
+/// to its current stack size — a closure rather than a slice so engines
+/// with different per-PE representations (the reference engine's `Pe`
+/// records, the other engines' bare stacks) share the one implementation.
+pub(crate) fn compute_horizon(
     cfg: &EngineConfig,
     machine: &SimdMachine,
-    pes: &[SearchStack<N>],
+    stack_len: impl Fn(usize) -> usize,
     active: &[usize],
     in_init: bool,
     size_hist: &mut Vec<u32>,
@@ -203,7 +217,7 @@ pub(crate) fn compute_horizon<N>(
         ) {
         1
     } else {
-        rebuild_hist(pes, active, size_hist);
+        rebuild_hist(stack_len, active, size_hist);
         build_count_ge(size_hist, count_ge);
         let hctx = HorizonCtx {
             p: cfg.p,
@@ -226,10 +240,10 @@ pub(crate) fn compute_horizon<N>(
 
 /// Rebuild the stack-size histogram over the active PEs: one O(A) sweep,
 /// run only at checkpoints that go on to compute a horizon.
-fn rebuild_hist<N>(pes: &[uts_tree::SearchStack<N>], active: &[usize], hist: &mut Vec<u32>) {
+fn rebuild_hist(stack_len: impl Fn(usize) -> usize, active: &[usize], hist: &mut Vec<u32>) {
     hist.clear();
     for &i in active {
-        let s = pes[i].len();
+        let s = stack_len(i);
         if s >= hist.len() {
             hist.resize(s + 1, 0);
         }

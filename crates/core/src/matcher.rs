@@ -34,6 +34,21 @@ impl MatchState {
         self.global_pointer
     }
 
+    /// GP start index for the next round on a `p`-processor machine: one
+    /// past the last donor, wrapping at `p`. All three entry points wrap
+    /// with the machine size — the flag entry points used to wrap with
+    /// `busy.len()`, which silently diverged from the packed entry point
+    /// whenever a caller passed a short flag slice.
+    fn start_for(&self, p: usize) -> usize {
+        match self.matching {
+            Matching::Ngp => 0,
+            Matching::Gp => self.global_pointer.map_or(0, |gp| {
+                debug_assert!(gp < p, "global pointer {gp} outside machine of size {p}");
+                (gp + 1) % p.max(1)
+            }),
+        }
+    }
+
     /// Pair busy donors with idle receivers for one transfer round, and —
     /// for GP — advance the global pointer to the round's last donor.
     ///
@@ -41,12 +56,10 @@ impl MatchState {
     /// "processor i has none"; a processor holding a single node is
     /// neither. Returns `min(A, I)` pairs.
     pub fn match_round(&mut self, busy: &[bool], idle: &[bool]) -> Vec<Pair> {
+        debug_assert_eq!(busy.len(), idle.len(), "flag slices must both have length P");
         let pairs = match self.matching {
             Matching::Ngp => rendezvous_match(busy, idle),
-            Matching::Gp => {
-                let start = self.global_pointer.map_or(0, |gp| (gp + 1) % busy.len().max(1));
-                rendezvous_match_from(busy, idle, start)
-            }
+            Matching::Gp => rendezvous_match_from(busy, idle, self.start_for(busy.len())),
         };
         if self.matching == Matching::Gp {
             if let Some(last) = pairs.last() {
@@ -68,10 +81,8 @@ impl MatchState {
         scratch: &mut MatchScratch,
         pairs: &mut Vec<Pair>,
     ) {
-        let start = match self.matching {
-            Matching::Ngp => 0,
-            Matching::Gp => self.global_pointer.map_or(0, |gp| (gp + 1) % busy.len().max(1)),
-        };
+        debug_assert_eq!(busy.len(), idle.len(), "flag slices must both have length P");
+        let start = self.start_for(busy.len());
         rendezvous_match_from_into(busy, idle, start, scratch, pairs);
         if self.matching == Matching::Gp {
             if let Some(last) = pairs.last() {
@@ -94,10 +105,9 @@ impl MatchState {
         packed_idle: &[usize],
         pairs: &mut Vec<Pair>,
     ) {
-        let start = match self.matching {
-            Matching::Ngp => 0,
-            Matching::Gp => self.global_pointer.map_or(0, |gp| (gp + 1) % p.max(1)),
-        };
+        debug_assert!(packed_busy.iter().all(|&i| i < p), "packed busy index outside machine");
+        debug_assert!(packed_idle.iter().all(|&i| i < p), "packed idle index outside machine");
+        let start = self.start_for(p);
         rendezvous_match_packed(packed_busy, packed_idle, start, pairs);
         if self.matching == Matching::Gp {
             if let Some(last) = pairs.last() {
@@ -236,6 +246,74 @@ mod tests {
                 assert_eq!(packed.global_pointer(), alloc.global_pointer(), "{matching:?}");
             }
         }
+    }
+
+    #[test]
+    fn all_entry_points_wrap_the_pointer_identically() {
+        // A donor at the last PE forces the wrap: the start index must be
+        // (p-1 + 1) % p = 0 in every entry point. The flag entry points
+        // used to wrap with busy.len() — identical here, but the shared
+        // start_for makes the agreement structural, and this test pins the
+        // rotated matching all three must produce after the wrap.
+        let busy = [B, B, I, I, B, B, I, B];
+        let idle = idle_of(&busy);
+        let p = busy.len();
+        let packed_busy: Vec<usize> =
+            busy.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+        let packed_idle: Vec<usize> =
+            idle.iter().enumerate().filter(|(_, &b)| b).map(|(i, _)| i).collect();
+
+        let mut flag = MatchState::new(Matching::Gp);
+        flag.global_pointer = Some(p - 1);
+        let expect = flag.match_round(&busy, &idle);
+        assert_eq!(expect.first().map(|pr| pr.donor), Some(0), "wrapped to PE 0");
+
+        let mut buffered = MatchState::new(Matching::Gp);
+        buffered.global_pointer = Some(p - 1);
+        let mut scratch = uts_scan::MatchScratch::default();
+        let mut pairs = Vec::new();
+        buffered.match_round_into(&busy, &idle, &mut scratch, &mut pairs);
+        assert_eq!(pairs, expect);
+        assert_eq!(buffered.global_pointer(), flag.global_pointer());
+
+        let mut packed = MatchState::new(Matching::Gp);
+        packed.global_pointer = Some(p - 1);
+        packed.match_round_packed(p, &packed_busy, &packed_idle, &mut pairs);
+        assert_eq!(pairs, expect);
+        assert_eq!(packed.global_pointer(), flag.global_pointer());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "outside machine of size")]
+    fn short_flag_slice_with_wrapped_pointer_is_rejected() {
+        // The silent-divergence case the bug allowed: the pointer sits at
+        // PE 6 of an 8-PE machine, but a caller passes 4-long flag slices.
+        // Wrapping with busy.len() would quietly start at (6+1) % 4 = 3;
+        // wrapping with p would start at 7. Now it is a debug assertion.
+        let busy = [B, B, I, I];
+        let idle = idle_of(&busy);
+        let mut gp = MatchState::new(Matching::Gp);
+        gp.global_pointer = Some(6);
+        let _ = gp.match_round(&busy, &idle);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "flag slices must both have length P")]
+    fn mismatched_flag_slices_are_rejected() {
+        let busy = [B, B, I];
+        let idle = [I, I, B, B];
+        let _ = MatchState::new(Matching::Ngp).match_round(&busy, &idle);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "packed busy index outside machine")]
+    fn packed_indices_outside_the_machine_are_rejected() {
+        let mut gp = MatchState::new(Matching::Gp);
+        let mut pairs = Vec::new();
+        gp.match_round_packed(4, &[1, 9], &[0], &mut pairs);
     }
 
     #[test]

@@ -42,7 +42,8 @@ use uts_machine::SimdMachine;
 use uts_tree::{Burst, SearchStack, TreeProblem};
 
 use crate::engine::{
-    balancing_phase, machine_report, trigger_fires, EngineConfig, LbBuffers, MacroStep, Outcome,
+    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, LedgerRecorder,
+    MacroStep, Outcome,
 };
 use crate::macrostep::compute_horizon;
 use crate::matcher::MatchState;
@@ -156,11 +157,23 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     let mut next_active: Vec<usize> = Vec::new();
     let mut death_cycles: Vec<u64> = Vec::new();
     let mut macro_steps: Vec<MacroStep> = Vec::new();
+    // The ledger is recorded entirely on the main thread — the trigger
+    // checkpoint and the balancing phase are serial sections here exactly
+    // as in the macro engine — so no per-worker ledger state exists and no
+    // merge is needed (DESIGN.md §7).
+    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
 
     loop {
         // ---- event horizon (main thread, identical to the macro engine) ----
-        let h =
-            compute_horizon(cfg, &machine, &pes, &active, in_init, &mut size_hist, &mut count_ge);
+        let h = compute_horizon(
+            cfg,
+            &machine,
+            |i| pes[i].len(),
+            &active,
+            in_init,
+            &mut size_hist,
+            &mut count_ge,
+        );
 
         let started = active.len();
         let start_cycle = machine.metrics().n_expand;
@@ -294,7 +307,7 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if trigger_fires(cfg, &machine, &mut in_init, busy_count, idle) {
+        if checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder) {
             balancing_phase(
                 cfg,
                 &mut machine,
@@ -306,12 +319,14 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut recorder,
             );
         }
     }
 
     let report = machine_report(machine);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps }
+    let ledger = recorder.map(|r| r.finish(&donations));
+    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps, ledger }
 }
 
 #[cfg(test)]

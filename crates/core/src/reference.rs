@@ -20,10 +20,10 @@ use rayon::prelude::*;
 use uts_machine::SimdMachine;
 use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
 
-use crate::engine::{EngineConfig, Outcome};
+use crate::engine::{checkpoint_trigger, EngineConfig, LedgerRecorder, Outcome};
+use crate::macrostep::compute_horizon;
 use crate::matcher::MatchState;
 use crate::scheme::TransferMode;
-use crate::trigger::{should_balance, TriggerCtx};
 
 /// Per-processor state: the DFS stack plus a per-cycle child buffer.
 struct Pe<N> {
@@ -64,7 +64,35 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
     let mut busy_flags = vec![false; cfg.p];
     let mut idle_flags = vec![false; cfg.p];
 
+    // Ledger recording replays the macro engine's horizon schedule (see
+    // `run_fused` for the argument); the oracle keeps no active list, so
+    // it derives one at each macro-step boundary — O(P), irrelevant here.
+    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
+    let mut replay_active: Vec<usize> = Vec::new();
+    let mut size_hist: Vec<u32> = Vec::new();
+    let mut count_ge: Vec<u32> = Vec::new();
+    let mut window_h = 0u64;
+    let mut h_remaining = 0u64;
+
     loop {
+        if recorder.is_some() {
+            if h_remaining == 0 {
+                replay_active.clear();
+                replay_active.extend((0..cfg.p).filter(|&i| !pes[i].stack.is_empty()));
+                window_h = compute_horizon(
+                    cfg,
+                    &machine,
+                    |i| pes[i].stack.len(),
+                    &replay_active,
+                    in_init,
+                    &mut size_hist,
+                    &mut count_ge,
+                );
+                h_remaining = window_h;
+            }
+            h_remaining -= 1;
+        }
+
         // ---- one lockstep expansion cycle (all P slots, idle included) ----
         let cycle: Vec<CycleResult> = if cfg.p >= 64 {
             pes.par_iter_mut().map(|pe| step_pe(problem, pe)).collect()
@@ -105,37 +133,30 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
             break; // space exhausted
         }
 
-        // ---- trigger ----
-        let fire = if in_init {
-            let threshold = cfg.init_fraction.unwrap();
-            if (has_work as f64) >= threshold * cfg.p as f64 {
-                in_init = false;
-                false
-            } else {
-                true
-            }
-        } else {
-            let ctx = TriggerCtx {
-                p: cfg.p,
-                busy,
-                idle,
-                phase: *machine.phase(),
-                u_calc: cfg.cost.u_calc,
-                l_estimate: machine.estimated_lb_cost(),
-            };
-            should_balance(cfg.scheme.trigger, &ctx)
-        };
-        if !fire || busy == 0 || idle == 0 {
+        // ---- trigger (shared checkpoint logic) ----
+        if !checkpoint_trigger(cfg, &machine, &mut in_init, busy, idle, window_h, &mut recorder) {
             continue;
         }
+        debug_assert!(
+            recorder.is_none() || h_remaining == 0,
+            "effective fire inside a certified horizon window"
+        );
+        h_remaining = 0;
 
         // ---- load-balancing phase ----
         let mut rounds = 0u32;
         let mut transfers = 0u64;
+        let mut receipts = recorder.as_mut().map(LedgerRecorder::receipts_mut);
         match cfg.scheme.transfers {
             TransferMode::Single => {
                 let pairs = matcher.match_round(&busy_flags, &idle_flags);
-                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                transfers += apply_pairs(
+                    &mut pes,
+                    &pairs,
+                    cfg.split,
+                    &mut donations,
+                    receipts.as_deref_mut(),
+                );
                 rounds = 1;
             }
             TransferMode::Multiple => loop {
@@ -147,21 +168,39 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
                 if pairs.is_empty() {
                     break;
                 }
-                transfers += apply_pairs(&mut pes, &pairs, cfg.split, &mut donations);
+                transfers += apply_pairs(
+                    &mut pes,
+                    &pairs,
+                    cfg.split,
+                    &mut donations,
+                    receipts.as_deref_mut(),
+                );
                 rounds += 1;
             },
             TransferMode::Equalize => {
-                rounds = equalize(&mut pes, &mut transfers, &mut donations);
+                rounds = equalize(&mut pes, &mut transfers, &mut donations, receipts);
             }
         }
         if rounds > 0 {
             machine.lb_phase(rounds, transfers);
         }
+        if let Some(rec) = recorder.as_mut() {
+            rec.settle(cfg, &machine, rounds, transfers);
+        }
     }
 
     let w = machine.metrics().nodes_expanded;
     let report = machine.finish(w);
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps: Vec::new() }
+    let ledger = recorder.map(|r| r.finish(&donations));
+    Outcome {
+        report,
+        goals,
+        truncated,
+        donations,
+        peak_stack_nodes,
+        macro_steps: Vec::new(),
+        ledger,
+    }
 }
 
 fn step_pe<P: TreeProblem>(problem: &P, pe: &mut Pe<P::Node>) -> CycleResult {
@@ -190,6 +229,7 @@ fn apply_pairs<N: Clone>(
     pairs: &[uts_scan::Pair],
     split: SplitPolicy,
     donations: &mut [u32],
+    mut receipts: Option<&mut [u32]>,
 ) -> u64 {
     let mut done = 0;
     for pair in pairs {
@@ -199,6 +239,9 @@ fn apply_pairs<N: Clone>(
             debug_assert!(pes[pair.receiver].stack.is_empty());
             pes[pair.receiver].stack = stack;
             donations[pair.donor] += 1;
+            if let Some(r) = receipts.as_deref_mut() {
+                r[pair.receiver] += 1;
+            }
             done += 1;
         }
     }
@@ -207,7 +250,12 @@ fn apply_pairs<N: Clone>(
 
 /// FEGS equalization, frame-preserving (see the module docs for why this
 /// differs from the seed loop).
-fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u32]) -> u32 {
+fn equalize<N: Clone>(
+    pes: &mut [Pe<N>],
+    transfers: &mut u64,
+    donations: &mut [u32],
+    mut receipts: Option<&mut [u32]>,
+) -> u32 {
     let p = pes.len();
     let total: usize = pes.iter().map(|pe| pe.stack.len()).sum();
     let target = total.div_ceil(p);
@@ -227,6 +275,9 @@ fn equalize<N: Clone>(pes: &mut [Pe<N>], transfers: &mut u64, donations: &mut [u
             if let Some(chunk) = pes[d].stack.split_count(excess.min(want)) {
                 pes[r].stack.merge_from(chunk);
                 donations[d] += 1;
+                if let Some(rc) = receipts.as_deref_mut() {
+                    rc[r] += 1;
+                }
                 *transfers += 1;
                 moved_any = true;
             }

@@ -33,11 +33,22 @@ pub struct TriggerCtx {
     pub l_estimate: SimTime,
 }
 
+/// The integer boundary of the static trigger: `⌊x·P⌋`. Eq. (1)'s
+/// comparison `A <= x·P` over an integer busy count `A` is exactly
+/// `A <= ⌊x·P⌋`, so this single value is *the* trigger boundary — shared
+/// by [`should_balance`], [`horizon_exceeds_one`] and [`safe_horizon`] so
+/// the three can never disagree on which side of the float product a
+/// boundary-exact `x = k/P` lands.
+#[inline]
+pub fn static_threshold(x: f64, p: usize) -> usize {
+    (x * p as f64).floor() as usize
+}
+
 /// Evaluate `trigger` against the current context.
 pub fn should_balance(trigger: Trigger, ctx: &TriggerCtx) -> bool {
     match trigger {
-        // Eq. (1): A <= x·P.
-        Trigger::Static { x } => (ctx.busy as f64) <= x * ctx.p as f64,
+        // Eq. (1): A <= x·P, evaluated on the integer boundary ⌊x·P⌋.
+        Trigger::Static { x } => ctx.busy <= static_threshold(x, ctx.p),
         // Eq. (2): w / (t + L) >= A, rewritten w >= A·(t + L) to stay in
         // integers. `w` and `t` are in virtual-time units.
         Trigger::Dp => {
@@ -83,8 +94,8 @@ pub fn horizon_exceeds_one(
     }
     let u = u_calc as u128;
     match trigger {
-        // Safe at k=1 needs cg(4) > x·P; relaxed cg(4) = active.
-        Trigger::Static { x } => active as f64 > x * p as f64,
+        // Safe at k=1 needs cg(4) > ⌊x·P⌋; relaxed cg(4) = active.
+        Trigger::Static { x } => active > static_threshold(x, p),
         // Safe at j=1 needs w_ub < cg(3)·((c0+1)·u + L); relaxed cg(3) =
         // active (the same `a0` that bounds the work side).
         Trigger::Dp => {
@@ -175,11 +186,11 @@ pub fn safe_horizon(trigger: Trigger, ctx: &HorizonCtx) -> u64 {
     // Cycles k <= all_nonempty_safe are safe because nobody can be idle.
     let all_nonempty_safe = if ctx.active == ctx.p { ctx.min_stack().saturating_sub(1) } else { 0 };
     let safe_k = match trigger {
-        // Eq. (1) does not fire while busy > x·P; busy(k) >= cg(k+2).
+        // Eq. (1) does not fire while busy > ⌊x·P⌋; busy(k) >= cg(k+2).
         Trigger::Static { x } => {
-            let xp = x * ctx.p as f64;
+            let threshold = static_threshold(x, ctx.p) as u64;
             let mut k = 0u64;
-            while k < HORIZON_CAP && (ctx.cg(k + 3) as f64) > xp {
+            while k < HORIZON_CAP && ctx.cg(k + 3) > threshold {
                 k += 1;
             }
             k.max(all_nonempty_safe)
@@ -410,6 +421,71 @@ mod tests {
             let h = safe_horizon(trigger, &hctx(2, &cg, PhaseStats::default(), u64::MAX >> 32));
             assert!(h <= HORIZON_CAP + 1, "{trigger:?}: {h}");
             assert!(h > 1, "{trigger:?} should certify a long window here");
+        }
+    }
+
+    mod static_boundary {
+        use proptest::prelude::*;
+
+        use super::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Sweep the exact boundary values x = k/P. The integer
+            /// threshold ⌊x·P⌋ must (a) reproduce eq. (1)'s float
+            /// comparison for every busy count — proving the refactor is
+            /// schedule-preserving — and (b) make the trigger, the O(1)
+            /// precheck and the horizon bound agree on which side of the
+            /// boundary a checkpoint lands.
+            #[test]
+            fn trigger_precheck_and_horizon_agree_at_k_over_p(
+                p in 1usize..=512,
+                k_seed in 0usize..=512,
+                active_seed in 1usize..=512,
+                deep in 8u64..64,
+            ) {
+                let k = k_seed % (p + 1);
+                let active = 1 + active_seed % p;
+                let x = k as f64 / p as f64;
+                let threshold = static_threshold(x, p);
+
+                // (a) Exactly the float comparison, at every busy count.
+                for busy in 0..=p {
+                    let float_fires = (busy as f64) <= x * p as f64;
+                    prop_assert_eq!(
+                        float_fires,
+                        busy <= threshold,
+                        "x={}/{} busy={} threshold={}", k, p, busy, threshold
+                    );
+                }
+
+                // (b) A checkpoint with `active` deep stacks (busy(k) =
+                // active for the whole window): trigger, precheck and
+                // horizon must agree on the boundary.
+                let trigger = Trigger::Static { x };
+                let sizes = vec![deep; active];
+                let cg = count_ge_of(&sizes);
+                let phase = PhaseStats::default();
+                let ctx = hctx(p, &cg, phase, 13);
+                let fires = should_balance(
+                    trigger,
+                    &TriggerCtx { p, busy: active, idle: p - active, phase, u_calc: 30, l_estimate: 13 },
+                );
+                let precheck = horizon_exceeds_one(trigger, p, active, &phase, 30, 13);
+                let h = safe_horizon(trigger, &ctx);
+                prop_assert_eq!(fires, active <= threshold);
+                prop_assert_eq!(precheck, active == p || active > threshold);
+                if fires && active < p {
+                    // An effective fire at the very next checkpoint: no
+                    // batching window may be certified.
+                    prop_assert_eq!(h, 1, "x={}/{} active={} h={}", k, p, active, h);
+                    prop_assert!(!precheck);
+                }
+                if !precheck {
+                    prop_assert_eq!(h, 1);
+                }
+            }
         }
     }
 

@@ -14,7 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::{SimTime, MICROS_PER_SEC};
+use crate::{LbCostBreakdown, SimTime, MICROS_PER_SEC};
 
 /// Interconnect topology, which fixes the asymptotic shape of `t_lb(P)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -98,26 +98,57 @@ impl CostModel {
         self
     }
 
+    /// Per-round (setup, transfer) cost parts for a phase on `p`
+    /// processors, before rounds and the Table 5 multiplier are applied.
+    ///
+    /// Degenerate sizes clamp to `p.max(2)` on every size-dependent
+    /// topology: a balancing phase needs a donor *and* a receiver, so a
+    /// phase on fewer than 2 PEs can never be charged by the engine — the
+    /// clamp only keeps `L` estimates (and direct cost-model queries)
+    /// finite and non-zero instead of collapsing to 0 (mesh used to
+    /// return 0 at `p = 0`) or `-inf` exponents (hypercube `log2(0)`).
+    fn lb_round_parts(&self, p: usize) -> (SimTime, SimTime) {
+        match self.topology {
+            Topology::Cm2 => (self.lb_setup, self.lb_transfer),
+            Topology::Hypercube => {
+                let d = (p.max(2) as f64).log2().ceil() as u64;
+                (self.lb_setup * d, self.lb_transfer * d * d)
+            }
+            Topology::Mesh => {
+                let s = (p.max(2) as f64).sqrt().ceil() as u64;
+                (self.lb_setup * s, self.lb_transfer * s)
+            }
+        }
+    }
+
     /// Cost of one balancing phase on `p` processors containing `rounds`
     /// match+transfer rounds (each round is one setup scan set plus one
     /// routed transfer; single-transfer schemes have `rounds == 1`).
+    /// Sizes below 2 clamp (see [`CostModel::lb_round_parts`]).
     ///
     /// # Panics
     /// Panics if `rounds == 0` — a phase with no rounds is an engine bug.
     pub fn lb_phase_cost(&self, p: usize, rounds: u32) -> SimTime {
+        self.lb_phase_cost_breakdown(p, rounds).total
+    }
+
+    /// The same phase cost as [`CostModel::lb_phase_cost`], attributed
+    /// exactly: `(setup + transfer) * multiplier == total`, with `setup`
+    /// and `transfer` each already summed over all `rounds`.
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0` — a phase with no rounds is an engine bug.
+    pub fn lb_phase_cost_breakdown(&self, p: usize, rounds: u32) -> LbCostBreakdown {
         assert!(rounds > 0, "a balancing phase must contain at least one round");
-        let per_round = match self.topology {
-            Topology::Cm2 => self.lb_setup + self.lb_transfer,
-            Topology::Hypercube => {
-                let d = (p.max(2) as f64).log2().ceil() as u64;
-                self.lb_setup * d + self.lb_transfer * d * d
-            }
-            Topology::Mesh => {
-                let s = (p as f64).sqrt().ceil() as u64;
-                (self.lb_setup + self.lb_transfer) * s
-            }
-        };
-        per_round * rounds as u64 * self.lb_multiplier as u64
+        let (setup_round, transfer_round) = self.lb_round_parts(p);
+        let setup = setup_round * rounds as u64;
+        let transfer = transfer_round * rounds as u64;
+        LbCostBreakdown {
+            setup,
+            transfer,
+            multiplier: self.lb_multiplier,
+            total: (setup + transfer) * self.lb_multiplier as u64,
+        }
     }
 
     /// The ratio `t_lb / U_calc` that eq. 18 (the optimal static trigger)
@@ -151,9 +182,60 @@ mod tests {
         let c = CostModel::hypercube();
         let c64 = c.lb_phase_cost(64, 1); // d = 6
         let c4096 = c.lb_phase_cost(4096, 1); // d = 12
-                                              // setup*d + transfer*d^2 with unit costs: 6+36=42 vs 12+144=156.
-        assert_eq!(c64, 42_000 / 1000 * 1000);
-        assert_eq!(c4096, 156_000 / 1000 * 1000);
+                                              // setup*d + transfer*d^2 with 1 ms unit costs:
+                                              // 6+36=42 ms vs 12+144=156 ms.
+        assert_eq!(c64, 42_000);
+        assert_eq!(c4096, 156_000);
+    }
+
+    #[test]
+    fn degenerate_sizes_clamp_to_two_processors() {
+        // A balancing phase needs a donor and a receiver; sizes below 2
+        // clamp rather than degenerating (mesh used to return 0 at p = 0).
+        for c in [CostModel::cm2(), CostModel::hypercube(), CostModel::mesh()] {
+            let floor = c.lb_phase_cost(2, 1);
+            assert!(floor > 0, "{:?}", c.topology);
+            assert_eq!(c.lb_phase_cost(0, 1), floor, "{:?}", c.topology);
+            assert_eq!(c.lb_phase_cost(1, 1), floor, "{:?}", c.topology);
+        }
+    }
+
+    #[test]
+    fn breakdown_parts_sum_exactly_to_the_charged_cost() {
+        for c in [
+            CostModel::cm2(),
+            CostModel::hypercube(),
+            CostModel::mesh(),
+            CostModel::cm2().with_lb_multiplier(16),
+            CostModel::mesh().with_lb_multiplier(12),
+        ] {
+            for p in [0usize, 1, 2, 64, 100, 8192] {
+                for rounds in [1u32, 3, 7] {
+                    let b = c.lb_phase_cost_breakdown(p, rounds);
+                    assert_eq!(
+                        (b.setup + b.transfer) * b.multiplier as u64,
+                        b.total,
+                        "{:?} p={p} rounds={rounds}",
+                        c.topology
+                    );
+                    assert_eq!(b.total, c.lb_phase_cost(p, rounds));
+                    assert_eq!(b.multiplier, c.lb_multiplier);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn breakdown_separates_setup_from_transfer() {
+        // CM-2: 3 ms setup + 10 ms transfer per round.
+        let b = CostModel::cm2().lb_phase_cost_breakdown(8192, 2);
+        assert_eq!(b.setup, 6_000);
+        assert_eq!(b.transfer, 20_000);
+        assert_eq!(b.total, 26_000);
+        // Hypercube at d = 6: setup*6, transfer*36.
+        let b = CostModel::hypercube().lb_phase_cost_breakdown(64, 1);
+        assert_eq!(b.setup, 6_000);
+        assert_eq!(b.transfer, 36_000);
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //! The machine knows nothing about trees or search; `uts-core` drives it.
 
 pub mod cost;
+pub mod ledger;
 pub mod metrics;
 
 pub use cost::{CostModel, Topology};
+pub use ledger::{
+    DonationSpread, LbCostBreakdown, LbPhaseRecord, Ledger, TriggerFiring, TriggerKind,
+};
 pub use metrics::{ActiveTrace, Metrics, PhaseEvent, PhaseStats};
 
 use serde::{Deserialize, Serialize};

@@ -73,10 +73,13 @@ pub use uts_viz as viz;
 /// The names almost every user needs.
 pub mod prelude {
     pub use uts_core::{
-        run, run_fused, run_par, run_reference, run_with, EngineConfig, EngineKind, Matching,
-        Outcome, Scheme, TransferMode, Trigger,
+        run, run_fused, run_par, run_reference, run_report_json, run_with, EngineConfig,
+        EngineKind, Matching, Outcome, Scheme, TransferMode, Trigger,
     };
-    pub use uts_machine::{CostModel, Report, SimdMachine, Topology};
+    pub use uts_machine::{
+        CostModel, DonationSpread, LbCostBreakdown, LbPhaseRecord, Ledger, Report, SimdMachine,
+        Topology, TriggerFiring, TriggerKind,
+    };
     pub use uts_tree::{serial_dfs, HeuristicProblem, SearchStack, SplitPolicy, TreeProblem};
 
     pub use crate::{

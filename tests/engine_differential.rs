@@ -4,6 +4,9 @@
 //! same **full [`Outcome`]** (every counter, trace, donation vector, goal
 //! count and peak, compared with `==`, not just the headline numbers) on
 //! random scheme × trigger × split-policy × tree-shape configurations.
+//! Every config records the load-balance ledger, so the `==` also asserts
+//! bit-identical per-PE donation/receipt counts and per-phase trigger
+//! provenance (operands, horizon, cost attribution) across engines.
 //! `run_par` must additionally be invariant in the worker count: threads
 //! are a host-side latency knob, never a schedule input.
 //!
@@ -69,7 +72,8 @@ proptest! {
         let tree = GeometricTree { seed, b_max, depth_limit };
         let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
             .with_split(split)
-            .with_trace();
+            .with_trace()
+            .with_ledger();
         assert_all_engines_identical(&tree, &cfg);
     }
 
@@ -84,7 +88,8 @@ proptest! {
         p_log in 1u32..8,
     ) {
         let tree = BinomialTree::with_q(seed, 16, 4, 0.2);
-        let mut cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace();
+        let mut cfg =
+            EngineConfig::new(1usize << p_log, scheme, CostModel::cm2()).with_trace().with_ledger();
         cfg.stop_on_goal = stop_on_goal;
         cfg.max_cycles = max_cycles;
         assert_all_engines_identical(&tree, &cfg);
@@ -104,7 +109,8 @@ proptest! {
         let base = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
             .with_split(split)
             .with_trace()
-            .with_horizon_log();
+            .with_horizon_log()
+            .with_ledger();
         let serial = run(&tree, &base);
         for threads in [1usize, 2, 8] {
             let par = run_par(&tree, &base.clone().with_threads(threads));
@@ -119,7 +125,7 @@ proptest! {
 fn table1_schemes_identical_across_engines_at_p256() {
     let tree = GeometricTree { seed: 29, b_max: 8, depth_limit: 6 };
     for (name, scheme) in Scheme::table1(0.75) {
-        let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace();
+        let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_trace().with_ledger();
         let reference = run_reference(&tree, &cfg);
         for kind in [EngineKind::Fused, EngineKind::Macro, EngineKind::Par] {
             let got = run_with(&tree, &cfg.clone().with_engine(kind));
@@ -134,9 +140,41 @@ fn table1_schemes_identical_across_engines_at_p256() {
 #[test]
 fn par_handles_the_init_phase_at_large_p() {
     let tree = GeometricTree { seed: 41, b_max: 6, depth_limit: 6 };
-    let cfg = EngineConfig::new(1024, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+    let cfg = EngineConfig::new(1024, Scheme::gp_dk(), CostModel::cm2()).with_trace().with_ledger();
     let reference = run_reference(&tree, &cfg);
     for threads in [1usize, 2, 8] {
         assert_eq!(run_par(&tree, &cfg.clone().with_threads(threads)), reference);
+    }
+}
+
+/// The ledger is internally consistent with the schedule it annotates:
+/// its donation vector is the outcome's, receipts balance donations, the
+/// phase log's transfer totals match the machine's counter, every phase's
+/// cost attribution reassembles exactly, and the phase count equals
+/// `N_lb`.
+#[test]
+fn ledger_reconciles_with_the_machine_accounting() {
+    let tree = GeometricTree { seed: 17, b_max: 8, depth_limit: 6 };
+    for (name, scheme) in Scheme::table1(0.8) {
+        let cfg = EngineConfig::new(128, scheme, CostModel::cm2()).with_ledger();
+        let out = run(&tree, &cfg);
+        let ledger = out.ledger.as_ref().expect("ledger was requested");
+        assert_eq!(ledger.donations, out.donations, "{name}");
+        let received: u64 = ledger.receipts.iter().map(|&r| r as u64).sum();
+        assert_eq!(ledger.total_transfers(), received, "{name}: every transfer has a receiver");
+        assert_eq!(ledger.total_transfers(), out.report.n_transfers, "{name}");
+        assert_eq!(ledger.phases.len() as u64, out.report.n_lb, "{name}");
+        let phase_transfers: u64 = ledger.phases.iter().map(|ph| ph.transfers).sum();
+        assert_eq!(phase_transfers, out.report.n_transfers, "{name}");
+        let phase_cost_p: u64 = ledger.phases.iter().map(|ph| ph.cost.total * cfg.p as u64).sum();
+        assert_eq!(phase_cost_p, out.report.t_lb, "{name}: phase costs sum to T_lb");
+        for ph in &ledger.phases {
+            assert_eq!(
+                (ph.cost.setup + ph.cost.transfer) * ph.cost.multiplier as u64,
+                ph.cost.total,
+                "{name}: exact cost attribution"
+            );
+            assert!(ph.rounds > 0, "{name}: abandoned fires leave no record");
+        }
     }
 }
