@@ -33,8 +33,13 @@
 //! plus par >= 1.5x macro on the deep d10 tree when the host has >= 4
 //! cores (the scaling target; never asserted on hosts that cannot
 //! physically reach it). The CI guard against a hot-path refactor quietly
-//! giving the speedups back. The JSON is hand-rolled (flat schema, no
-//! serializer dependency):
+//! giving the speedups back.
+//!
+//! A dedicated checkpoint-overhead pair (`ckpt-d7` in the JSON) runs the
+//! macro engine on a mid-size tree with and without a dense every-16th-
+//! boundary snapshot policy; `--check` holds checkpoint-on throughput
+//! to >= 0.8x checkpoint-off (`ckpt_on_vs_off` in the speedups map). The JSON
+//! is hand-rolled (flat schema, no serializer dependency):
 //!
 //! ```json
 //! {
@@ -59,8 +64,10 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use uts_ckpt::CheckpointPolicy;
 use uts_core::{
-    run, run_fused, run_par, run_reference, run_report_json, EngineConfig, Outcome, Scheme,
+    run, run_fused, run_par, run_reference, run_report_json, CheckpointCfg, EngineConfig, Outcome,
+    Scheme,
 };
 use uts_machine::CostModel;
 use uts_synth::GeometricTree;
@@ -203,6 +210,53 @@ fn main() {
         }
     }
 
+    // Checkpoint overhead: the macro engine with and without a periodic
+    // snapshot policy (every 16th macro-step boundary — a *dense* schedule;
+    // real deployments checkpoint far less often) on a dedicated mid-size
+    // workload. The tiny `--quick` tree cannot host this comparison — its
+    // whole run is ~100 us, so a single snapshot (which serializes the
+    // entire live frontier) eats a double-digit share no matter the
+    // policy — hence the fixed d7 tree in both modes. A fresh in-memory
+    // sink per run keeps one timed run's snapshots out of the next one's
+    // allocator.
+    let (ckpt_label, ckpt_p) = ("ckpt-d7", 256usize);
+    {
+        let ckpt_budget = if quick { 0.2 } else { 1.0 };
+        let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 7 };
+        let w = serial_dfs(&tree).expanded;
+        tree_sizes.push((ckpt_label, 7, w));
+        let base_cfg = EngineConfig::new(ckpt_p, Scheme::gp_dk(), CostModel::cm2());
+        for (engine, armed) in [("macro", false), ("macro_ckpt", true)] {
+            let (seconds, out) = measure(
+                || {
+                    if armed {
+                        let cfg = base_cfg
+                            .clone()
+                            .with_checkpoint_cfg(CheckpointCfg::new(CheckpointPolicy::every(16)));
+                        run(&tree, &cfg)
+                    } else {
+                        run(&tree, &base_cfg)
+                    }
+                },
+                ckpt_budget,
+            );
+            assert_eq!(out.report.nodes_expanded, w, "checkpointing must not perturb the schedule");
+            let nodes_per_sec = w as f64 / seconds;
+            eprintln!(
+                "{ckpt_label:<4} P={ckpt_p:>5} {engine:<10} {seconds:>8.4} s/run  {nodes_per_sec:>12.0} nodes/s"
+            );
+            results.push(Measurement {
+                tree: ckpt_label,
+                engine,
+                p: ckpt_p,
+                seconds,
+                nodes_per_sec,
+                n_expand: out.report.n_expand,
+                t_par_us: out.report.t_par,
+            });
+        }
+    }
+
     let configs: Vec<(&'static str, usize)> =
         cases.iter().flat_map(|c| c.ps.iter().map(|&p| (c.label, p))).collect();
     let rate = |tree: &str, p: usize, engine: &str| {
@@ -253,7 +307,11 @@ fn main() {
     let _ = writeln!(json, "    \"macro_vs_fused\": {{{}}},", ratio_map("macro", "fused"));
     let _ = writeln!(json, "    \"macro_vs_reference\": {{{}}},", ratio_map("macro", "reference"));
     let _ = writeln!(json, "    \"par_vs_macro\": {{{}}},", ratio_map("par", "macro"));
-    let _ = writeln!(json, "    \"par_vs_reference\": {{{}}}", ratio_map("par", "reference"));
+    let _ = writeln!(json, "    \"par_vs_reference\": {{{}}},", ratio_map("par", "reference"));
+    let ck_ratio = rate(ckpt_label, ckpt_p, "macro_ckpt").unwrap()
+        / rate(ckpt_label, ckpt_p, "macro").unwrap();
+    eprintln!("{ckpt_label} P={ckpt_p:>5} ckpt-on/ckpt-off throughput: {ck_ratio:.2}x");
+    let _ = writeln!(json, "    \"ckpt_on_vs_off\": {{\"{ckpt_label}/{ckpt_p}\": {ck_ratio:.2}}}");
     json.push_str("  }\n}\n");
 
     match std::fs::write(&out_path, &json) {
@@ -322,12 +380,23 @@ fn main() {
                 ok = false;
             }
         }
+        // A dense (every-16th-boundary) checkpoint schedule must cost at
+        // most 20% of macro throughput on the dedicated overhead workload;
+        // any real (sparser) policy costs strictly less.
+        let ck = rate(ckpt_label, ckpt_p, "macro_ckpt").unwrap();
+        let ma = rate(ckpt_label, ckpt_p, "macro").unwrap();
+        if ck < 0.8 * ma {
+            eprintln!(
+                "CHECK FAIL {ckpt_label} P={ckpt_p}: macro+ckpt {ck:.0} < 0.8x macro {ma:.0}"
+            );
+            ok = false;
+        }
         if !ok {
             std::process::exit(1);
         }
         eprintln!(
-            "check passed: fused >= 0.9x reference, macro >= 0.9x fused, par >= 0.85x macro\
-             {} ({host_threads} host threads)",
+            "check passed: fused >= 0.9x reference, macro >= 0.9x fused, par >= 0.85x macro, \
+             ckpt-on >= 0.8x ckpt-off{} ({host_threads} host threads)",
             if host_threads >= 4 { ", par >= 1.5x macro on d10" } else { "" }
         );
     }

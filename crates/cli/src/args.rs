@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use uts_core::Scheme;
+use uts_core::{EngineKind, Scheme};
 use uts_machine::CostModel;
 use uts_puzzle15::{korf_instances, Instance};
 
@@ -71,6 +71,17 @@ fn static_threshold(x: &str) -> Result<f64, String> {
         Ok(x)
     } else {
         Err(format!("static threshold {x} must lie in [0, 1]"))
+    }
+}
+
+/// Parse an engine name.
+pub fn parse_engine(s: &str) -> Result<EngineKind, String> {
+    match s {
+        "reference" | "ref" => Ok(EngineKind::Reference),
+        "fused" => Ok(EngineKind::Fused),
+        "macro" => Ok(EngineKind::Macro),
+        "par" => Ok(EngineKind::Par),
+        other => Err(format!("unknown engine `{other}` (reference|fused|macro|par)")),
     }
 }
 

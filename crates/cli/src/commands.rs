@@ -2,7 +2,8 @@
 //! prints the error + usage on failure.
 
 use uts_analysis::{optimal_static_trigger, TriggerParams};
-use uts_core::{run, EngineConfig, Scheme};
+use uts_ckpt::{CheckpointPolicy, FaultPlan};
+use uts_core::{resume_from_bytes, run, run_with, CheckpointCfg, EngineConfig, Outcome, Scheme};
 use uts_machine::CostModel;
 use uts_mimd::{run_mimd, MimdConfig, StealPolicy};
 use uts_par::deque_dfs;
@@ -12,7 +13,7 @@ use uts_tree::ida::ida_star;
 use uts_tree::problem::BoundedProblem;
 use uts_tree::serial_dfs;
 
-use crate::args::{parse_cost, parse_scheme, parse_workload, Flags};
+use crate::args::{parse_cost, parse_engine, parse_scheme, parse_workload, Flags};
 
 /// `sts solve`: serial IDA\* on a 15-puzzle.
 pub fn solve(flags: &Flags) -> Result<(), String> {
@@ -31,8 +32,18 @@ pub fn solve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// `sts run`: parallel SIMD search of one bounded iteration.
-pub fn run_simd(flags: &Flags) -> Result<(), String> {
+/// Everything `sts run` and `sts resume` share: the workload instance, the
+/// iteration bound, and the fully-built engine config. `sts resume` must
+/// rebuild the *same* config the checkpointing run used (the snapshot only
+/// carries a fingerprint of it, not the config itself), so both commands
+/// funnel through here and accept the same flags.
+struct SimdSetup {
+    puzzle: Puzzle15,
+    bound: u32,
+    cfg: EngineConfig,
+}
+
+fn simd_setup(flags: &Flags) -> Result<SimdSetup, String> {
     let spec = parse_workload(flags)?;
     let p = flags.get_parsed("p", 1024usize)?;
     let scheme = match flags.get("scheme") {
@@ -54,11 +65,37 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
             ida_star(&puzzle, 80).solution_cost.ok_or("instance not solvable within bound 80")?
         }
     };
-    let bp = BoundedProblem::new(&puzzle, bound);
     let mut cfg = EngineConfig::new(p, scheme, cost);
     cfg.record_ledger = flags.get_parsed("ledger", false)?;
-    let out = run(&bp, &cfg);
-    println!("scheme        : {}", scheme.name());
+    if let Some(e) = flags.get("engine") {
+        cfg.engine = parse_engine(e)?;
+    }
+
+    // Checkpointing: `--checkpoint-every N` snapshots every Nth macro-step
+    // boundary into `--checkpoint-dir DIR`; `--kill-at K` injects a fault at
+    // boundary K (with or without snapshots, for overhead experiments).
+    let every = flags.get_parsed("checkpoint-every", 0u64)?;
+    let kill_at = flags.get_parsed("kill-at", 0u64)?;
+    if every > 0 || kill_at > 0 {
+        let policy =
+            if every > 0 { CheckpointPolicy::every(every) } else { CheckpointPolicy::default() };
+        let mut ck = CheckpointCfg::new(policy);
+        match flags.get("checkpoint-dir") {
+            Some(d) => ck = ck.into_dir(d),
+            None if every > 0 => return Err("--checkpoint-every needs --checkpoint-dir DIR".into()),
+            None => {}
+        }
+        if kill_at > 0 {
+            ck = ck.with_fault(FaultPlan::kill_at(kill_at));
+        }
+        cfg.checkpoint = Some(ck);
+    }
+    Ok(SimdSetup { puzzle, bound, cfg })
+}
+
+fn print_outcome(cfg: &EngineConfig, bound: u32, out: &Outcome) {
+    let p = cfg.p;
+    println!("scheme        : {}", cfg.scheme.name());
     println!("P             : {p}");
     println!("bound         : {bound}");
     println!("W (nodes)     : {}", out.report.nodes_expanded);
@@ -70,6 +107,9 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
     println!("T_par (virt s): {:.2}", out.report.t_par as f64 / 1e6);
     println!("speedup       : {:.1}", out.report.speedup());
     println!("efficiency    : {:.3}", out.report.efficiency);
+    if out.killed {
+        println!("killed        : yes (fault injected; resume with `sts resume --snapshot ...`)");
+    }
     if let Some(ledger) = &out.ledger {
         let s = ledger.donation_spread();
         println!("-- ledger ({} balancing phases) --", ledger.phases.len());
@@ -82,6 +122,30 @@ pub fn run_simd(flags: &Flags) -> Result<(), String> {
             "phase cost    : {lb_cost} us total (pre-mult: setup {setup}, transfer {transfer})"
         );
     }
+}
+
+/// `sts run`: parallel SIMD search of one bounded iteration.
+pub fn run_simd(flags: &Flags) -> Result<(), String> {
+    let setup = simd_setup(flags)?;
+    let bp = BoundedProblem::new(&setup.puzzle, setup.bound);
+    let out = run_with(&bp, &setup.cfg);
+    print_outcome(&setup.cfg, setup.bound, &out);
+    Ok(())
+}
+
+/// `sts resume`: continue a checkpointed `sts run` from a snapshot file.
+///
+/// Takes the same workload/config flags as `run` — the snapshot's config
+/// fingerprint is checked against the rebuilt config, so resuming under
+/// different `--p`/`--scheme`/`--cost` flags is rejected rather than
+/// silently diverging.
+pub fn resume(flags: &Flags) -> Result<(), String> {
+    let path = flags.get("snapshot").ok_or("--snapshot PATH is required")?;
+    let bytes = std::fs::read(path).map_err(|e| format!("--snapshot {path}: {e}"))?;
+    let setup = simd_setup(flags)?;
+    let bp = BoundedProblem::new(&setup.puzzle, setup.bound);
+    let out = resume_from_bytes(&bp, &setup.cfg, &bytes).map_err(|e| format!("{path}: {e}"))?;
+    print_outcome(&setup.cfg, setup.bound, &out);
     Ok(())
 }
 

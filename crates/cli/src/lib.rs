@@ -6,7 +6,7 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_cost, parse_scheme, parse_workload, Flags, WorkloadSpec};
+pub use args::{parse_cost, parse_engine, parse_scheme, parse_workload, Flags, WorkloadSpec};
 
 /// Exit with a usage message.
 pub const USAGE: &str = "\
@@ -16,7 +16,9 @@ USAGE:
   sts solve   [--seed S] [--walk N | --korf K]          serial IDA* on a 15-puzzle
   sts run     [--p P] [--scheme SCHEME] [--cost MODEL] [--lb-mult M]
               [--seed S] [--walk N | --korf K] [--bound B] [--ledger true]
-                                                         parallel SIMD search
+              [--engine E] [--checkpoint-dir DIR] [--checkpoint-every N]
+              [--kill-at K]                              parallel SIMD search
+  sts resume  --snapshot PATH [same flags as run]        resume from a checkpoint
   sts mimd    [--p P] [--policy grr|arr|rp|nn] [--seed S] [--walk N]
                                                          MIMD work stealing
   sts queens  [--n N] [--p P]                            N-queens on all engines
@@ -25,6 +27,14 @@ USAGE:
 
 SCHEMES: gp-s:<x>  ngp-s:<x>  gp-dk  ngp-dk  gp-dp  ngp-dp  fess  fegs
 COSTS:   cm2  hypercube  mesh
+ENGINES: macro (default)  fused  par  reference
+
+Checkpointing: `sts run --checkpoint-dir DIR --checkpoint-every N` writes a
+snapshot `ckpt-<step>.bin` into DIR every Nth macro-step boundary;
+`--kill-at K` injects a fault (clean stop) at boundary K. `sts resume
+--snapshot DIR/ckpt-....bin` continues the run — pass the *same* workload
+and config flags: a snapshot is only valid against the configuration that
+produced it (enforced by a config fingerprint in the header).
 ";
 
 #[cfg(test)]
@@ -44,6 +54,17 @@ mod tests {
         assert!(parse_scheme("bogus").is_err());
         assert!(parse_scheme("gp-s:1.5").is_err(), "threshold must be a probability");
         assert!(parse_scheme("gp-s:").is_err());
+    }
+
+    #[test]
+    fn engine_grammar() {
+        use uts_core::EngineKind;
+        assert_eq!(parse_engine("macro").unwrap(), EngineKind::Macro);
+        assert_eq!(parse_engine("fused").unwrap(), EngineKind::Fused);
+        assert_eq!(parse_engine("par").unwrap(), EngineKind::Par);
+        assert_eq!(parse_engine("reference").unwrap(), EngineKind::Reference);
+        assert_eq!(parse_engine("ref").unwrap(), EngineKind::Reference);
+        assert!(parse_engine("turbo").is_err());
     }
 
     #[test]

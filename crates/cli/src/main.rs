@@ -11,6 +11,7 @@ fn main() {
     let result = Flags::parse(rest).and_then(|flags| match cmd.as_str() {
         "solve" => commands::solve(&flags),
         "run" => commands::run_simd(&flags),
+        "resume" => commands::resume(&flags),
         "mimd" => commands::run_mimd_cmd(&flags),
         "queens" => commands::queens(&flags),
         "sat" => commands::sat(&flags),

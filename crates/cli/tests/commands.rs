@@ -27,6 +27,65 @@ fn run_rejects_bad_scheme() {
 }
 
 #[test]
+fn run_kill_then_resume_round_trips() {
+    let dir = std::env::temp_dir().join(format!("sts-ckpt-cli-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let dir_s = dir.to_str().expect("utf-8 temp path").to_string();
+    let base =
+        ["--seed", "7", "--walk", "20", "--p", "32", "--scheme", "gp-dk", "--ledger", "true"];
+
+    // A checkpointing run killed at boundary 3 (snapshot lands first).
+    let mut killed: Vec<&str> = base.to_vec();
+    killed.extend_from_slice(&[
+        "--checkpoint-dir",
+        &dir_s,
+        "--checkpoint-every",
+        "1",
+        "--kill-at",
+        "3",
+    ]);
+    commands::run_simd(&flags(&killed)).expect("killed run");
+    let snap = dir.join("ckpt-00000003.bin");
+    assert!(snap.exists(), "snapshot written at the kill boundary");
+    let snap_s = snap.to_str().expect("utf-8 snapshot path").to_string();
+
+    // Resume under the same flags completes the search.
+    let mut resumed: Vec<&str> = base.to_vec();
+    resumed.extend_from_slice(&["--snapshot", &snap_s]);
+    commands::resume(&flags(&resumed)).expect("resume");
+
+    // Resume under a different config is rejected by the fingerprint.
+    let wrong_p =
+        ["--seed", "7", "--walk", "20", "--p", "64", "--scheme", "gp-dk", "--snapshot", &snap_s];
+    let err = commands::resume(&flags(&wrong_p)).unwrap_err();
+    assert!(err.contains("different configuration"), "{err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn run_checkpoint_every_requires_a_dir() {
+    let err = commands::run_simd(&flags(&[
+        "--seed",
+        "7",
+        "--walk",
+        "14",
+        "--p",
+        "8",
+        "--checkpoint-every",
+        "2",
+    ]))
+    .unwrap_err();
+    assert!(err.contains("--checkpoint-dir"), "{err}");
+}
+
+#[test]
+fn resume_requires_a_snapshot_path() {
+    let err = commands::resume(&flags(&[])).unwrap_err();
+    assert!(err.contains("--snapshot"), "{err}");
+}
+
+#[test]
 fn mimd_small() {
     commands::run_mimd_cmd(&flags(&["--seed", "7", "--walk", "18", "--p", "16"])).expect("mimd");
 }

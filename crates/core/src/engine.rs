@@ -109,6 +109,12 @@ pub struct EngineConfig {
     /// core". Ignored by the other engines, and **never** part of the
     /// schedule: any value yields the identical `Outcome`.
     pub threads: Option<usize>,
+    /// Checkpoint/resume configuration ([`crate::ckpt`]): when armed, the
+    /// run snapshots its complete state at macro-step boundaries (the same
+    /// engine-invariant schedule the ledger replays) and honours any
+    /// injected [`uts_ckpt::FaultPlan`]. Never part of the schedule — a
+    /// checkpointing run produces the identical `Outcome` (unless killed).
+    pub checkpoint: Option<crate::ckpt::CheckpointCfg>,
 }
 
 impl EngineConfig {
@@ -129,6 +135,7 @@ impl EngineConfig {
             record_ledger: false,
             engine: EngineKind::Macro,
             threads: None,
+            checkpoint: None,
         }
     }
 
@@ -167,6 +174,33 @@ impl EngineConfig {
         self.threads = Some(threads);
         self
     }
+
+    /// Builder: snapshot at the boundaries `policy` selects, into a fresh
+    /// in-memory sink (retarget with [`EngineConfig::with_checkpoint_cfg`]
+    /// or [`crate::ckpt::CheckpointCfg::into_dir`]).
+    pub fn with_checkpoint(mut self, policy: uts_ckpt::CheckpointPolicy) -> Self {
+        self.checkpoint = Some(crate::ckpt::CheckpointCfg::new(policy));
+        self
+    }
+
+    /// Builder: install a complete checkpoint configuration (policy, sink
+    /// and optional fault).
+    pub fn with_checkpoint_cfg(mut self, ckpt: crate::ckpt::CheckpointCfg) -> Self {
+        self.checkpoint = Some(ckpt);
+        self
+    }
+
+    /// Builder: kill the run at the fault plan's macro-step boundary
+    /// (arming an empty checkpoint config if none exists yet, so a kill
+    /// can be injected without any snapshot policy).
+    pub fn with_fault(mut self, fault: uts_ckpt::FaultPlan) -> Self {
+        self.checkpoint
+            .get_or_insert_with(|| {
+                crate::ckpt::CheckpointCfg::new(uts_ckpt::CheckpointPolicy::default())
+            })
+            .fault = Some(fault);
+        self
+    }
 }
 
 /// Run `problem` under the executor named by [`EngineConfig::engine`].
@@ -196,6 +230,12 @@ pub struct Outcome {
     pub goals: u64,
     /// True if `max_cycles` aborted the run before exhaustion.
     pub truncated: bool,
+    /// True if an injected [`uts_ckpt::FaultPlan`] killed the run at a
+    /// macro-step boundary (the counters then cover only the completed
+    /// prefix). Always false for straight runs and for resumed runs that
+    /// finish, so the kill→resume differential can compare whole
+    /// `Outcome`s.
+    pub killed: bool,
     /// How many times each processor donated work — the burden GP exists
     /// to spread evenly ("to try to evenly distribute the burden of
     /// sharing work among the processors", Sec. 2.2). Analyze with
@@ -241,38 +281,87 @@ impl Outcome {
     }
 }
 
+/// Initial (or restored) engine state shared by every executor: the
+/// direct state a snapshot captures. Derived structures — the dense
+/// active list, the splittable flags, the busy count — are pure functions
+/// of the stacks and are rebuilt by each loop, never restored.
+pub(crate) struct ResumeState<N> {
+    pub machine: SimdMachine,
+    pub matcher: MatchState,
+    pub pes: Vec<SearchStack<N>>,
+    pub goals: u64,
+    pub donations: Vec<u32>,
+    pub peak_stack_nodes: usize,
+    pub in_init: bool,
+    pub macro_steps: Vec<MacroStep>,
+    pub recorder: Option<LedgerRecorder>,
+    /// Macro-step boundaries completed before the snapshot (the hook
+    /// continues boundary numbering from here).
+    pub step: u64,
+}
+
+impl<N> ResumeState<N> {
+    /// Fresh-run state: processor 0 holds the root, everything else zero.
+    pub(crate) fn fresh<P: TreeProblem<Node = N>>(problem: &P, cfg: &EngineConfig) -> Self {
+        let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+        machine.record_active_trace(cfg.record_trace);
+        let mut pes: Vec<SearchStack<N>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
+        pes[0] = SearchStack::from_root(problem.root());
+        Self {
+            machine,
+            matcher: MatchState::new(cfg.scheme.matching),
+            pes,
+            goals: 0,
+            donations: vec![0u32; cfg.p],
+            peak_stack_nodes: 1,
+            // The init phase (dynamic triggers): alternate cycle / balance
+            // until `init_fraction` of the PEs have work.
+            in_init: cfg.init_fraction.is_some(),
+            macro_steps: Vec::new(),
+            recorder: cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p)),
+            step: 0,
+        }
+    }
+}
+
 /// Run `problem` to exhaustion (or first goal) under `cfg`, checking the
 /// trigger after every cycle (the PR 1 fused pipeline). Kept as the
 /// single-cycle baseline the macro engine is benchmarked against; new code
 /// should call [`crate::macrostep::run`].
 pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
-    assert!(cfg.p > 0, "need at least one processor");
-    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
-    machine.record_active_trace(cfg.record_trace);
-    let mut matcher = MatchState::new(cfg.scheme.matching);
+    run_fused_from(problem, cfg, None)
+}
 
+pub(crate) fn run_fused_from<P: TreeProblem>(
+    problem: &P,
+    cfg: &EngineConfig,
+    resume: Option<ResumeState<P::Node>>,
+) -> Outcome {
+    assert!(cfg.p > 0, "need at least one processor");
+    let state = resume.unwrap_or_else(|| ResumeState::fresh(problem, cfg));
+    let mut hook = crate::ckpt::Hook::new(cfg, state.step);
+    let mut machine = state.machine;
+    let mut matcher = state.matcher;
     // Per-processor DFS stacks. All per-cycle scratch (child frames, pair
     // lists, packed enumerations) lives in long-lived buffers below, so a
     // warmed-up cycle performs no allocator traffic.
-    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
-    pes[0] = SearchStack::from_root(problem.root());
-
-    let mut goals = 0u64;
+    let mut pes = state.pes;
+    let mut goals = state.goals;
+    let mut donations = state.donations;
+    let mut peak_stack_nodes = state.peak_stack_nodes;
+    let mut in_init = state.in_init;
+    let mut recorder = state.recorder;
     let mut truncated = false;
-    let mut donations = vec![0u32; cfg.p];
-    let mut peak_stack_nodes = 1usize;
-    // The init phase (dynamic triggers): alternate cycle / balance until
-    // `init_fraction` of the PEs have work.
-    let mut in_init = cfg.init_fraction.is_some();
+    let mut killed = false;
 
-    // Ledger recording replays the macro engine's horizon schedule so the
-    // per-phase provenance records (which carry the horizon) stay
-    // engine-invariant: a window of `window_h` cycles is certified at each
-    // macro-step boundary, and horizon soundness guarantees no effective
-    // fire before the window's final checkpoint — the fused loop's
-    // per-cycle trigger evaluation inside the window is provably inert.
-    // All of this is skipped when the ledger is off.
-    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
+    // Ledger recording and checkpointing both replay the macro engine's
+    // horizon schedule so per-phase provenance records and snapshot
+    // boundaries stay engine-invariant: a window of `window_h` cycles is
+    // certified at each macro-step boundary, and horizon soundness
+    // guarantees no effective fire before the window's final checkpoint —
+    // the fused loop's per-cycle trigger evaluation inside the window is
+    // provably inert. All of this is skipped when both are off.
+    let track = recorder.is_some() || hook.is_some();
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
     let mut window_h = 0u64;
@@ -285,17 +374,17 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     // the matching derives the idle enumeration it needs (a `min(A, I)`
     // prefix — surplus idle PEs are never matched) by walking the gaps in
     // this list.
-    let mut active: Vec<usize> = vec![0];
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
     // Busy (= splittable) flags, maintained incrementally; they are only
     // ever read through `active` (busy implies active).
-    let mut busy_flags = vec![false; cfg.p];
+    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
 
     // Long-lived balancing buffers, reused across every round of every
     // balancing phase of the run.
     let mut lb = LbBuffers::default();
 
     loop {
-        if recorder.is_some() {
+        if track {
             if h_remaining == 0 {
                 window_h = crate::macrostep::compute_horizon(
                     cfg,
@@ -336,7 +425,7 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if checkpoint_trigger(
+        let fired = checkpoint_trigger(
             cfg,
             &machine,
             &mut in_init,
@@ -344,11 +433,9 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
             idle,
             window_h,
             &mut recorder,
-        ) {
-            debug_assert!(
-                recorder.is_none() || h_remaining == 0,
-                "effective fire inside a certified horizon window"
-            );
+        );
+        if fired {
+            debug_assert!(!track || h_remaining == 0, "effective fire inside a certified window");
             h_remaining = 0;
             balancing_phase(
                 cfg,
@@ -367,6 +454,31 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
         // If no transfer was possible the trigger may keep firing, but the
         // `busy == 0 || idle == 0` guard inside `trigger_fires` prevents
         // livelock because a cycle always runs at the top of the loop.
+
+        // ---- macro-step boundary (checkpoint + fault injection) ----
+        if h_remaining == 0 {
+            if let Some(hk) = hook.as_mut() {
+                let dies = hk.boundary(fired, |step, fp| {
+                    crate::ckpt::capture(
+                        step,
+                        fp,
+                        in_init,
+                        goals,
+                        &donations,
+                        peak_stack_nodes,
+                        &matcher,
+                        &machine,
+                        recorder.as_ref(),
+                        &[],
+                        &pes,
+                    )
+                });
+                if dies {
+                    killed = true;
+                    break;
+                }
+            }
+        }
     }
 
     let report = machine_report(machine);
@@ -375,6 +487,7 @@ pub fn run_fused<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
         report,
         goals,
         truncated,
+        killed,
         donations,
         peak_stack_nodes,
         macro_steps: Vec::new(),
@@ -480,6 +593,24 @@ impl LedgerRecorder {
     /// Per-PE receipt counters, bumped by the transfer helpers.
     pub(crate) fn receipts_mut(&mut self) -> &mut [u32] {
         &mut self.receipts
+    }
+
+    /// Receipts accumulated so far (checkpoint capture).
+    pub(crate) fn receipts_so_far(&self) -> &[u32] {
+        &self.receipts
+    }
+
+    /// Phase records settled so far (checkpoint capture). At a macro-step
+    /// boundary no firing is pending, so this is the complete state.
+    pub(crate) fn phases_so_far(&self) -> &[LbPhaseRecord] {
+        debug_assert!(self.pending.is_none(), "capture with an unsettled firing");
+        &self.phases
+    }
+
+    /// Rebuild the recorder from a snapshot (a boundary never has a
+    /// pending firing, so none is restored).
+    pub(crate) fn restore(receipts: Vec<u32>, phases: Vec<LbPhaseRecord>) -> Self {
+        Self { receipts, phases, pending: None }
     }
 
     /// Close out the armed firing after its balancing phase ran. A phase

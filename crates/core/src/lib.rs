@@ -39,6 +39,7 @@
 //! assert_eq!(outcome.report.nodes_expanded, uts_tree::serial_dfs(&tree).expanded);
 //! ```
 
+pub mod ckpt;
 pub mod engine;
 pub mod macrostep;
 pub mod matcher;
@@ -49,6 +50,9 @@ pub mod report_json;
 pub mod scheme;
 pub mod trigger;
 
+pub use ckpt::{
+    config_fingerprint, resume_from_bytes, resume_with, CheckpointCfg, CheckpointSink, Snapshot,
+};
 pub use engine::{run_fused, run_with, EngineConfig, EngineKind, MacroStep, Outcome};
 pub use macrostep::run;
 pub use matcher::MatchState;

@@ -38,37 +38,46 @@
 //! costs the same as the fused engine.
 
 use uts_machine::SimdMachine;
-use uts_tree::{SearchStack, TreeProblem};
+use uts_tree::TreeProblem;
 
 use crate::engine::{
-    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, LedgerRecorder,
-    MacroStep, Outcome,
+    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, MacroStep,
+    Outcome, ResumeState,
 };
-use crate::matcher::MatchState;
 use crate::trigger::{horizon_exceeds_one, safe_horizon, HorizonCtx};
 
 /// Run `problem` to exhaustion (or first goal) under `cfg` using
 /// event-horizon macro-steps. This is the default engine; its schedule is
 /// bit-identical to [`crate::reference::run_reference`].
 pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    run_from(problem, cfg, None)
+}
+
+pub(crate) fn run_from<P: TreeProblem>(
+    problem: &P,
+    cfg: &EngineConfig,
+    resume: Option<ResumeState<P::Node>>,
+) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
-    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
-    machine.record_active_trace(cfg.record_trace);
-    let mut matcher = MatchState::new(cfg.scheme.matching);
-
-    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
-    pes[0] = SearchStack::from_root(problem.root());
-
-    let mut goals = 0u64;
+    let state = resume.unwrap_or_else(|| ResumeState::fresh(problem, cfg));
+    let mut hook = crate::ckpt::Hook::new(cfg, state.step);
+    let mut machine = state.machine;
+    let mut matcher = state.matcher;
+    let mut pes = state.pes;
+    let mut goals = state.goals;
+    let mut donations = state.donations;
+    let mut peak_stack_nodes = state.peak_stack_nodes;
+    let mut in_init = state.in_init;
+    let mut macro_steps = state.macro_steps;
+    let mut recorder = state.recorder;
     let mut truncated = false;
-    let mut donations = vec![0u32; cfg.p];
-    let mut peak_stack_nodes = 1usize;
-    let mut in_init = cfg.init_fraction.is_some();
+    let mut killed = false;
 
     // Dense sorted active list + splittable flags, exactly as in the fused
-    // engine (see `engine.rs` for the invariants).
-    let mut active: Vec<usize> = vec![0];
-    let mut busy_flags = vec![false; cfg.p];
+    // engine (see `engine.rs` for the invariants), derived from the stacks
+    // (identically for a fresh root and a restored snapshot).
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
+    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
 
     // Stack-size histogram over the *active* PEs (`size_hist[s]` = number
     // of active PEs whose stack holds `s` nodes), rebuilt on demand at
@@ -79,8 +88,6 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     let mut lb = LbBuffers::default();
     // Burst lengths of PEs that drained mid-batch (usually empty or tiny).
     let mut death_cycles: Vec<u64> = Vec::new();
-    let mut macro_steps: Vec<MacroStep> = Vec::new();
-    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
 
     loop {
         // ---- event horizon ----
@@ -164,7 +171,9 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder) {
+        let fired =
+            checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder);
+        if fired {
             balancing_phase(
                 cfg,
                 &mut machine,
@@ -179,11 +188,34 @@ pub fn run<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
                 &mut recorder,
             );
         }
+
+        // ---- macro-step boundary (checkpoint + fault injection) ----
+        if let Some(hk) = hook.as_mut() {
+            let dies = hk.boundary(fired, |step, fp| {
+                crate::ckpt::capture(
+                    step,
+                    fp,
+                    in_init,
+                    goals,
+                    &donations,
+                    peak_stack_nodes,
+                    &matcher,
+                    &machine,
+                    recorder.as_ref(),
+                    &macro_steps,
+                    &pes,
+                )
+            });
+            if dies {
+                killed = true;
+                break;
+            }
+        }
     }
 
     let report = machine_report(machine);
     let ledger = recorder.map(|r| r.finish(&donations));
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps, ledger }
+    Outcome { report, goals, truncated, killed, donations, peak_stack_nodes, macro_steps, ledger }
 }
 
 /// Compute the next event horizon for a macro-step engine: a sound lower

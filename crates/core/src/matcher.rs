@@ -24,6 +24,16 @@ impl MatchState {
         Self { matching, global_pointer: None }
     }
 
+    /// Rebuild matching state from a checkpoint: the scheme plus the saved
+    /// global pointer (always `None` for NGP, which carries no state).
+    pub fn restore(matching: Matching, global_pointer: Option<usize>) -> Self {
+        debug_assert!(
+            matching == Matching::Gp || global_pointer.is_none(),
+            "NGP matching has no pointer to restore"
+        );
+        Self { matching, global_pointer }
+    }
+
     /// The matching scheme.
     pub fn matching(&self) -> Matching {
         self.matching

@@ -9,6 +9,16 @@
 //! (not the full routed `t_lb`) per balancing step. The paper notes this
 //! family's isoefficiency is sensitive to the splitting quality —
 //! observable here via [`NnConfig::split`].
+//!
+//! **Checkpointing:** this engine does *not* participate in the
+//! [`crate::ckpt`] subsystem. It is a deliberately separate baseline with
+//! its own [`NnConfig`]/[`NnOutcome`] types — it balances after *every*
+//! expansion cycle, so it has no macro-step boundaries for a
+//! [`uts_ckpt::CheckpointPolicy`] to select, and it sits outside the
+//! four-engine bit-identical contract that makes snapshots
+//! engine-invariant. A run here is also short and cheap to redo; fault
+//! tolerance buys nothing. Its runs are fully deterministic (see the
+//! repeatability test below), so re-running *is* resuming.
 
 use uts_machine::{CostModel, Report, SimdMachine};
 use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
@@ -172,5 +182,55 @@ mod tests {
         let tree = geo(5);
         let out = run_nearest_neighbor(&tree, &NnConfig::new(32, CostModel::cm2()));
         assert!(out.report.accounting_identity_holds());
+    }
+
+    #[test]
+    fn nn_is_deterministic_run_to_run() {
+        // No checkpoint/resume here (see the module docs): the substitute
+        // guarantee is that re-running reproduces the run exactly.
+        let tree = geo(7);
+        let cfg = NnConfig::new(32, CostModel::cm2());
+        let a = run_nearest_neighbor(&tree, &cfg);
+        let b = run_nearest_neighbor(&tree, &cfg);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.goals, b.goals);
+        assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn nn_max_cycles_truncates_and_reports_it() {
+        let tree = geo(2);
+        let mut cfg = NnConfig::new(4, CostModel::cm2());
+        cfg.max_cycles = Some(3);
+        let out = run_nearest_neighbor(&tree, &cfg);
+        assert!(out.truncated);
+        assert_eq!(out.report.n_expand, 3);
+        let full = run_nearest_neighbor(&tree, &NnConfig::new(4, CostModel::cm2()));
+        assert!(out.report.nodes_expanded < full.report.nodes_expanded);
+    }
+
+    #[test]
+    fn nn_split_policy_changes_diffusion_not_work() {
+        // Splitting quality shifts *when* work spreads (the paper's
+        // isoefficiency sensitivity), never *how much* work exists.
+        let tree = geo(8);
+        let w = serial_dfs(&tree).expanded;
+        for split in [SplitPolicy::Bottom, SplitPolicy::Half, SplitPolicy::Top] {
+            let mut cfg = NnConfig::new(16, CostModel::cm2());
+            cfg.split = split;
+            let out = run_nearest_neighbor(&tree, &cfg);
+            assert_eq!(out.report.nodes_expanded, w, "{split:?}");
+        }
+    }
+
+    #[test]
+    fn nn_transfers_only_feed_idle_right_neighbors() {
+        // On a 2-ring the donor can only ever feed PE 1; the very first
+        // balancing step must move work there, after which some cycles
+        // expand two nodes — so node count exceeds cycle count.
+        let tree = geo(9);
+        let out = run_nearest_neighbor(&tree, &NnConfig::new(2, CostModel::cm2()));
+        assert!(out.report.n_transfers >= 1);
+        assert!(out.report.nodes_expanded > out.report.n_expand, "both PEs worked some cycle");
     }
 }

@@ -38,15 +38,13 @@
 //! fan-out entirely — `run_par` at one worker is the macro engine plus a
 //! branch.
 
-use uts_machine::SimdMachine;
 use uts_tree::{Burst, SearchStack, TreeProblem};
 
 use crate::engine::{
-    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, LedgerRecorder,
-    MacroStep, Outcome,
+    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, MacroStep,
+    Outcome, ResumeState,
 };
 use crate::macrostep::compute_horizon;
-use crate::matcher::MatchState;
 
 /// Minimum `started_PEs × horizon` product worth paying a thread spawn
 /// for when the worker count was auto-detected. Below this the batch runs
@@ -128,25 +126,39 @@ fn run_shard<P: TreeProblem>(
 /// [`crate::macrostep::run`] at any thread count (see the module docs for
 /// the argument, and `tests/engine_differential.rs` for the enforcement).
 pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    run_par_from(problem, cfg, None)
+}
+
+pub(crate) fn run_par_from<P: TreeProblem>(
+    problem: &P,
+    cfg: &EngineConfig,
+    resume: Option<ResumeState<P::Node>>,
+) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
     let threads = resolve_threads(cfg);
-    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
-    machine.record_active_trace(cfg.record_trace);
-    let mut matcher = MatchState::new(cfg.scheme.matching);
-
-    let mut pes: Vec<SearchStack<P::Node>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
-    pes[0] = SearchStack::from_root(problem.root());
-
-    let mut goals = 0u64;
+    let state = resume.unwrap_or_else(|| ResumeState::fresh(problem, cfg));
+    let mut hook = crate::ckpt::Hook::new(cfg, state.step);
+    let mut machine = state.machine;
+    let mut matcher = state.matcher;
+    let mut pes = state.pes;
+    let mut goals = state.goals;
+    let mut donations = state.donations;
+    let mut peak_stack_nodes = state.peak_stack_nodes;
+    let mut in_init = state.in_init;
+    let mut macro_steps = state.macro_steps;
+    // The ledger is recorded entirely on the main thread — the trigger
+    // checkpoint and the balancing phase are serial sections here exactly
+    // as in the macro engine — so no per-worker ledger state exists and no
+    // merge is needed (DESIGN.md §7). The same holds for snapshots: the
+    // boundary hook runs after the burst phase joined its workers.
+    let mut recorder = state.recorder;
     let mut truncated = false;
-    let mut donations = vec![0u32; cfg.p];
-    let mut peak_stack_nodes = 1usize;
-    let mut in_init = cfg.init_fraction.is_some();
+    let mut killed = false;
 
     // Dense sorted active list + splittable flags, exactly as in the fused
-    // engine (see `engine.rs` for the invariants).
-    let mut active: Vec<usize> = vec![0];
-    let mut busy_flags = vec![false; cfg.p];
+    // engine (see `engine.rs` for the invariants), derived from the stacks.
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
+    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
 
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
@@ -156,12 +168,6 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     let mut shards: Vec<ShardScratch> = (0..threads).map(|_| ShardScratch::default()).collect();
     let mut next_active: Vec<usize> = Vec::new();
     let mut death_cycles: Vec<u64> = Vec::new();
-    let mut macro_steps: Vec<MacroStep> = Vec::new();
-    // The ledger is recorded entirely on the main thread — the trigger
-    // checkpoint and the balancing phase are serial sections here exactly
-    // as in the macro engine — so no per-worker ledger state exists and no
-    // merge is needed (DESIGN.md §7).
-    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
 
     loop {
         // ---- event horizon (main thread, identical to the macro engine) ----
@@ -307,7 +313,9 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
 
         // ---- trigger + load-balancing phase (shared checkpoint tail) ----
         let idle = cfg.p - active.len();
-        if checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder) {
+        let fired =
+            checkpoint_trigger(cfg, &machine, &mut in_init, busy_count, idle, h, &mut recorder);
+        if fired {
             balancing_phase(
                 cfg,
                 &mut machine,
@@ -322,11 +330,34 @@ pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
                 &mut recorder,
             );
         }
+
+        // ---- macro-step boundary (checkpoint + fault injection) ----
+        if let Some(hk) = hook.as_mut() {
+            let dies = hk.boundary(fired, |step, fp| {
+                crate::ckpt::capture(
+                    step,
+                    fp,
+                    in_init,
+                    goals,
+                    &donations,
+                    peak_stack_nodes,
+                    &matcher,
+                    &machine,
+                    recorder.as_ref(),
+                    &macro_steps,
+                    &pes,
+                )
+            });
+            if dies {
+                killed = true;
+                break;
+            }
+        }
     }
 
     let report = machine_report(machine);
     let ledger = recorder.map(|r| r.finish(&donations));
-    Outcome { report, goals, truncated, donations, peak_stack_nodes, macro_steps, ledger }
+    Outcome { report, goals, truncated, killed, donations, peak_stack_nodes, macro_steps, ledger }
 }
 
 #[cfg(test)]

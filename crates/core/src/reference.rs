@@ -17,24 +17,16 @@
 //! lost the level boundaries that split policies and `depth()` rely on).
 
 use rayon::prelude::*;
-use uts_machine::SimdMachine;
 use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
 
-use crate::engine::{checkpoint_trigger, EngineConfig, LedgerRecorder, Outcome};
+use crate::engine::{checkpoint_trigger, EngineConfig, LedgerRecorder, Outcome, ResumeState};
 use crate::macrostep::compute_horizon;
-use crate::matcher::MatchState;
 use crate::scheme::TransferMode;
 
 /// Per-processor state: the DFS stack plus a per-cycle child buffer.
 struct Pe<N> {
     stack: SearchStack<N>,
     children: Vec<N>,
-}
-
-impl<N> Pe<N> {
-    fn new() -> Self {
-        Self { stack: SearchStack::new(), children: Vec::new() }
-    }
 }
 
 /// What one processor did in one expansion cycle.
@@ -47,27 +39,37 @@ struct CycleResult {
 /// Run `problem` under `cfg` with the reference (two-sweep, allocating)
 /// loop. Produces the same [`Outcome`] as [`crate::engine::run`].
 pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+    run_reference_from(problem, cfg, None)
+}
+
+pub(crate) fn run_reference_from<P: TreeProblem>(
+    problem: &P,
+    cfg: &EngineConfig,
+    resume: Option<ResumeState<P::Node>>,
+) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
-    let mut machine = SimdMachine::new(cfg.p, cfg.cost);
-    machine.record_active_trace(cfg.record_trace);
-    let mut matcher = MatchState::new(cfg.scheme.matching);
-
-    let mut pes: Vec<Pe<P::Node>> = (0..cfg.p).map(|_| Pe::new()).collect();
-    pes[0].stack = SearchStack::from_root(problem.root());
-
-    let mut goals = 0u64;
+    let state = resume.unwrap_or_else(|| ResumeState::fresh(problem, cfg));
+    let mut hook = crate::ckpt::Hook::new(cfg, state.step);
+    let mut machine = state.machine;
+    let mut matcher = state.matcher;
+    let mut pes: Vec<Pe<P::Node>> =
+        state.pes.into_iter().map(|stack| Pe { stack, children: Vec::new() }).collect();
+    let mut goals = state.goals;
+    let mut donations = state.donations;
+    let mut peak_stack_nodes = state.peak_stack_nodes;
+    let mut in_init = state.in_init;
+    let mut recorder = state.recorder;
     let mut truncated = false;
-    let mut donations = vec![0u32; cfg.p];
-    let mut peak_stack_nodes = 1usize;
-    let mut in_init = cfg.init_fraction.is_some();
+    let mut killed = false;
 
     let mut busy_flags = vec![false; cfg.p];
     let mut idle_flags = vec![false; cfg.p];
 
-    // Ledger recording replays the macro engine's horizon schedule (see
-    // `run_fused` for the argument); the oracle keeps no active list, so
-    // it derives one at each macro-step boundary — O(P), irrelevant here.
-    let mut recorder = cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p));
+    // Ledger recording and checkpointing replay the macro engine's horizon
+    // schedule (see `run_fused` for the argument); the oracle keeps no
+    // active list, so it derives one at each macro-step boundary — O(P),
+    // irrelevant here.
+    let track = recorder.is_some() || hook.is_some();
     let mut replay_active: Vec<usize> = Vec::new();
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
@@ -75,7 +77,7 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
     let mut h_remaining = 0u64;
 
     loop {
-        if recorder.is_some() {
+        if track {
             if h_remaining == 0 {
                 replay_active.clear();
                 replay_active.extend((0..cfg.p).filter(|&i| !pes[i].stack.is_empty()));
@@ -134,58 +136,84 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
         }
 
         // ---- trigger (shared checkpoint logic) ----
-        if !checkpoint_trigger(cfg, &machine, &mut in_init, busy, idle, window_h, &mut recorder) {
-            continue;
-        }
-        debug_assert!(
-            recorder.is_none() || h_remaining == 0,
-            "effective fire inside a certified horizon window"
-        );
-        h_remaining = 0;
+        let fired =
+            checkpoint_trigger(cfg, &machine, &mut in_init, busy, idle, window_h, &mut recorder);
+        if fired {
+            debug_assert!(!track || h_remaining == 0, "effective fire inside a certified window");
+            h_remaining = 0;
 
-        // ---- load-balancing phase ----
-        let mut rounds = 0u32;
-        let mut transfers = 0u64;
-        let mut receipts = recorder.as_mut().map(LedgerRecorder::receipts_mut);
-        match cfg.scheme.transfers {
-            TransferMode::Single => {
-                let pairs = matcher.match_round(&busy_flags, &idle_flags);
-                transfers += apply_pairs(
-                    &mut pes,
-                    &pairs,
-                    cfg.split,
-                    &mut donations,
-                    receipts.as_deref_mut(),
-                );
-                rounds = 1;
+            // ---- load-balancing phase ----
+            let mut rounds = 0u32;
+            let mut transfers = 0u64;
+            let mut receipts = recorder.as_mut().map(LedgerRecorder::receipts_mut);
+            match cfg.scheme.transfers {
+                TransferMode::Single => {
+                    let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                    transfers += apply_pairs(
+                        &mut pes,
+                        &pairs,
+                        cfg.split,
+                        &mut donations,
+                        receipts.as_deref_mut(),
+                    );
+                    rounds = 1;
+                }
+                TransferMode::Multiple => loop {
+                    refresh_flags(&pes, &mut busy_flags, &mut idle_flags);
+                    if !busy_flags.iter().any(|&b| b) || !idle_flags.iter().any(|&i| i) {
+                        break;
+                    }
+                    let pairs = matcher.match_round(&busy_flags, &idle_flags);
+                    if pairs.is_empty() {
+                        break;
+                    }
+                    transfers += apply_pairs(
+                        &mut pes,
+                        &pairs,
+                        cfg.split,
+                        &mut donations,
+                        receipts.as_deref_mut(),
+                    );
+                    rounds += 1;
+                },
+                TransferMode::Equalize => {
+                    rounds = equalize(&mut pes, &mut transfers, &mut donations, receipts);
+                }
             }
-            TransferMode::Multiple => loop {
-                refresh_flags(&pes, &mut busy_flags, &mut idle_flags);
-                if !busy_flags.iter().any(|&b| b) || !idle_flags.iter().any(|&i| i) {
-                    break;
-                }
-                let pairs = matcher.match_round(&busy_flags, &idle_flags);
-                if pairs.is_empty() {
-                    break;
-                }
-                transfers += apply_pairs(
-                    &mut pes,
-                    &pairs,
-                    cfg.split,
-                    &mut donations,
-                    receipts.as_deref_mut(),
-                );
-                rounds += 1;
-            },
-            TransferMode::Equalize => {
-                rounds = equalize(&mut pes, &mut transfers, &mut donations, receipts);
+            if rounds > 0 {
+                machine.lb_phase(rounds, transfers);
+            }
+            if let Some(rec) = recorder.as_mut() {
+                rec.settle(cfg, &machine, rounds, transfers);
             }
         }
-        if rounds > 0 {
-            machine.lb_phase(rounds, transfers);
-        }
-        if let Some(rec) = recorder.as_mut() {
-            rec.settle(cfg, &machine, rounds, transfers);
+
+        // ---- macro-step boundary (checkpoint + fault injection) ----
+        if h_remaining == 0 {
+            if let Some(hk) = hook.as_mut() {
+                let dies = hk.boundary(fired, |step, fp| {
+                    // The oracle keeps wrapped stacks, so it alone pays a
+                    // clone per snapshot — irrelevant off the hot path.
+                    let stacks: Vec<_> = pes.iter().map(|pe| pe.stack.clone()).collect();
+                    crate::ckpt::capture(
+                        step,
+                        fp,
+                        in_init,
+                        goals,
+                        &donations,
+                        peak_stack_nodes,
+                        &matcher,
+                        &machine,
+                        recorder.as_ref(),
+                        &[],
+                        &stacks,
+                    )
+                });
+                if dies {
+                    killed = true;
+                    break;
+                }
+            }
         }
     }
 
@@ -196,6 +224,7 @@ pub fn run_reference<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome
         report,
         goals,
         truncated,
+        killed,
         donations,
         peak_stack_nodes,
         macro_steps: Vec::new(),

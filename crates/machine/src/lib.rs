@@ -83,6 +83,25 @@ impl SimdMachine {
         }
     }
 
+    /// Rebuild a machine from checkpointed state: the resumed machine must
+    /// be indistinguishable from one that lived through the original run,
+    /// so every private field is restored verbatim (the checkpoint
+    /// subsystem in `uts-ckpt` is the intended caller).
+    ///
+    /// # Panics
+    /// Panics if `p == 0`.
+    pub fn restore(
+        p: usize,
+        cost: CostModel,
+        now: SimTime,
+        last_lb_cost: SimTime,
+        metrics: Metrics,
+        phase: PhaseStats,
+    ) -> Self {
+        assert!(p > 0, "a SIMD machine needs at least one processor");
+        Self { p, cost, now, metrics, phase, last_lb_cost }
+    }
+
     /// Ensemble size `P`.
     pub fn p(&self) -> usize {
         self.p

@@ -68,6 +68,29 @@ impl ActiveTrace {
         &self.breaks
     }
 
+    /// Rebuild a trace from its breakpoint encoding and total length — the
+    /// checkpoint-resume inverse of [`ActiveTrace::breakpoints`] /
+    /// [`ActiveTrace::len`]. The input must be a *canonical* encoding
+    /// (ascending cycles starting at 0, no two consecutive breakpoints
+    /// with equal `A`, empty iff `len == 0`), which is what a recorded
+    /// trace always serializes to; a resumed trace then continues to
+    /// compare equal to an uninterrupted one.
+    ///
+    /// # Panics
+    /// Panics if the encoding is not canonical.
+    pub fn from_breakpoints(breaks: Vec<(u64, u32)>, len: u64) -> Self {
+        assert_eq!(breaks.is_empty(), len == 0, "breakpoints iff cycles");
+        if let Some(&(first, _)) = breaks.first() {
+            assert_eq!(first, 0, "first breakpoint sits at cycle 0");
+        }
+        assert!(
+            breaks.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 != w[1].1),
+            "breakpoints must be ascending with distinct consecutive values"
+        );
+        assert!(breaks.last().is_none_or(|&(c, _)| c < len), "breakpoints lie within len");
+        Self { breaks, len }
+    }
+
     /// Iterate the constant runs as `(start_cycle, run_length, a)`.
     pub fn runs(&self) -> impl Iterator<Item = (u64, u64, u32)> + '_ {
         self.breaks.iter().enumerate().map(|(i, &(c, a))| {

@@ -34,6 +34,17 @@ pub struct KnapsackNode {
     pub value: u32,
 }
 
+impl uts_tree::CkptNode for KnapsackNode {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        uts_tree::codec::put_u16(out, self.next);
+        uts_tree::codec::put_u32(out, self.weight);
+        uts_tree::codec::put_u32(out, self.value);
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        Ok(Self { next: r.u16()?, weight: r.u32()?, value: r.u32()? })
+    }
+}
+
 /// The 0/1 knapsack problem, with items sorted by value density and a
 /// greedy incumbent for bound pruning.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -35,6 +35,17 @@ pub struct PathNode {
     pub weight: u64,
 }
 
+impl uts_tree::CkptNode for PathNode {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        uts_tree::codec::put_u16(out, self.depth);
+        uts_tree::codec::put_i32(out, self.site);
+        uts_tree::codec::put_u64(out, self.weight);
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        Ok(Self { depth: r.u16()?, site: r.i32()?, weight: r.u64()? })
+    }
+}
+
 /// The discretized path-integral tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PathIntegral {

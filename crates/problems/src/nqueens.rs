@@ -22,6 +22,18 @@ pub struct QueensNode {
     pub diag2: u32,
 }
 
+impl uts_tree::CkptNode for QueensNode {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        out.push(self.row);
+        uts_tree::codec::put_u32(out, self.cols);
+        uts_tree::codec::put_u32(out, self.diag1);
+        uts_tree::codec::put_u32(out, self.diag2);
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        Ok(Self { row: r.u8()?, cols: r.u32()?, diag1: r.u32()?, diag2: r.u32()? })
+    }
+}
+
 /// The N-queens problem for an `n × n` board, `n <= 31`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct NQueens {

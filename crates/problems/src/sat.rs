@@ -71,6 +71,35 @@ pub struct Assignment {
     assigned: u32,
 }
 
+impl uts_tree::CkptNode for Assignment {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        // `assigned` is derivable (count of non-Unset), so only the value
+        // vector goes on the wire — canonical by construction.
+        uts_tree::codec::put_usize(out, self.vals.len());
+        for v in &self.vals {
+            out.push(match v {
+                Val::Unset => 0,
+                Val::True => 1,
+                Val::False => 2,
+            });
+        }
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        let n = r.len(1)?;
+        let mut vals = Vec::with_capacity(n);
+        for _ in 0..n {
+            vals.push(match r.u8()? {
+                0 => Val::Unset,
+                1 => Val::True,
+                2 => Val::False,
+                _ => return Err(uts_tree::CodecError::Malformed("Val byte not 0/1/2")),
+            });
+        }
+        let assigned = vals.iter().filter(|v| !matches!(v, Val::Unset)).count() as u32;
+        Ok(Self { vals, assigned })
+    }
+}
+
 impl Assignment {
     fn empty(num_vars: u32) -> Self {
         Self { vals: vec![Val::Unset; num_vars as usize], assigned: 0 }

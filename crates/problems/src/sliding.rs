@@ -50,6 +50,18 @@ pub struct SlidingState {
     pub came_from: u16,
 }
 
+impl uts_tree::CkptNode for SlidingState {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        self.tiles.encode_node(out);
+        uts_tree::codec::put_u16(out, self.blank);
+        uts_tree::codec::put_u16(out, self.h);
+        uts_tree::codec::put_u16(out, self.came_from);
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        Ok(Self { tiles: Vec::decode_node(r)?, blank: r.u16()?, h: r.u16()?, came_from: r.u16()? })
+    }
+}
+
 /// The generalized sliding puzzle.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Sliding {

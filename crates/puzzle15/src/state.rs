@@ -25,6 +25,30 @@ pub struct PuzzleState {
     pub last: Option<Move>,
 }
 
+impl uts_tree::CkptNode for PuzzleState {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        uts_tree::codec::put_u64(out, self.board.0);
+        out.push(self.blank);
+        uts_tree::codec::put_u16(out, self.h);
+        // Move as one byte: 0..=3 per its repr, 4 for None.
+        out.push(self.last.map_or(4, |m| m as u8));
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        let board = Board(r.u64()?);
+        let blank = r.u8()?;
+        let h = r.u16()?;
+        let last = match r.u8()? {
+            0 => Some(Move::Up),
+            1 => Some(Move::Down),
+            2 => Some(Move::Left),
+            3 => Some(Move::Right),
+            4 => None,
+            _ => return Err(uts_tree::CodecError::Malformed("Move byte not 0..=4")),
+        };
+        Ok(Self { board, blank, h, last })
+    }
+}
+
 impl PuzzleState {
     /// Build a root state from a board.
     pub fn new(board: Board) -> Self {

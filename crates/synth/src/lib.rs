@@ -44,6 +44,16 @@ pub struct SynthNode {
     pub depth: u32,
 }
 
+impl uts_tree::CkptNode for SynthNode {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        uts_tree::codec::put_u64(out, self.id);
+        uts_tree::codec::put_u32(out, self.depth);
+    }
+    fn decode_node(r: &mut uts_tree::Reader<'_>) -> Result<Self, uts_tree::CodecError> {
+        Ok(Self { id: r.u64()?, depth: r.u32()? })
+    }
+}
+
 /// Binomial tree: root has exactly `root_children` children; every other
 /// node has `m` children with probability `q`, else it is a leaf.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]

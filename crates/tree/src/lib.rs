@@ -18,12 +18,14 @@
 //! * [`ida`] — iterative-deepening A\* built from bounded DFS iterations;
 //! * [`dfbb`] — depth-first branch-and-bound over costed problems.
 
+pub mod codec;
 pub mod dfbb;
 pub mod ida;
 pub mod problem;
 pub mod serial;
 pub mod stack;
 
+pub use codec::{CkptNode, CodecError, Reader};
 pub use problem::{BoundedNode, BoundedProblem, HeuristicProblem, TreeProblem};
 pub use serial::{serial_dfs, serial_dfs_collect, serial_dfs_first_goal, SerialStats};
 pub use stack::{Burst, SearchStack, SplitPolicy};

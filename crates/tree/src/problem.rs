@@ -11,10 +11,13 @@
 /// A dynamically generated search tree.
 ///
 /// `Node` values must be self-contained (carry their own depth / path cost),
-/// because the parallel engine moves them between processors' stacks.
+/// because the parallel engine moves them between processors' stacks — and
+/// byte-serializable ([`crate::codec::CkptNode`]), because the checkpoint
+/// subsystem snapshots in-flight stacks to disk and resumes them.
 pub trait TreeProblem: Sync {
-    /// A node of the tree. Cloned when stacks are split and shipped.
-    type Node: Clone + Send + Sync;
+    /// A node of the tree. Cloned when stacks are split and shipped;
+    /// encoded/decoded when a run is checkpointed.
+    type Node: Clone + Send + Sync + crate::codec::CkptNode;
 
     /// The root node.
     fn root(&self) -> Self::Node;
@@ -35,8 +38,10 @@ pub trait TreeProblem: Sync {
 /// A problem with an admissible heuristic, searchable by IDA\*
 /// (Korf 1985 — the serial algorithm of the paper's experiments).
 pub trait HeuristicProblem: Sync {
-    /// A state of the problem.
-    type State: Clone + Send + Sync;
+    /// A state of the problem. The [`crate::codec::CkptNode`] bound keeps
+    /// [`BoundedNode<State>`] checkpointable, so IDA\* iterations running
+    /// under the parallel engine can snapshot and resume.
+    type State: Clone + Send + Sync + crate::codec::CkptNode;
 
     /// The initial state.
     fn initial(&self) -> Self::State;

@@ -426,6 +426,26 @@ impl<N> SearchStack<N> {
     pub fn iter(&self) -> impl Iterator<Item = &N> {
         self.frames.iter().flatten()
     }
+
+    /// The frame list, bottom to top — the stack's complete observable
+    /// state (the spare pool is allocator warm-up only). This is what the
+    /// checkpoint codec serializes.
+    pub fn frames(&self) -> &[Vec<N>] {
+        &self.frames
+    }
+
+    /// Rebuild a stack from an explicit frame list (checkpoint resume).
+    /// `len` is recomputed; the spare pool starts cold, which is
+    /// unobservable through the public API.
+    ///
+    /// # Panics
+    /// Panics if any frame is empty — stacks never store empty frames, and
+    /// the codec rejects such input before it gets here.
+    pub fn from_frames(frames: Vec<Vec<N>>) -> Self {
+        assert!(frames.iter().all(|f| !f.is_empty()), "stacks never store empty frames");
+        let len = frames.iter().map(Vec::len).sum();
+        Self { frames, len, spare: Vec::new() }
+    }
 }
 
 #[cfg(test)]

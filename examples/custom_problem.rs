@@ -16,6 +16,15 @@ struct Placement {
     cols: Vec<u8>,
 }
 
+impl CkptNode for Placement {
+    fn encode_node(&self, out: &mut Vec<u8>) {
+        self.cols.encode_node(out);
+    }
+    fn decode_node(r: &mut tree::Reader<'_>) -> Result<Self, tree::CodecError> {
+        Ok(Self { cols: Vec::decode_node(r)? })
+    }
+}
+
 /// The N-queens backtracking tree: children = safe placements in the next
 /// row. Goals are complete placements.
 struct NQueens {

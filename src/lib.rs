@@ -56,8 +56,10 @@
 //! | [`par`] | real multicore work-stealing DFS executor (`uts-par`) |
 //! | [`viz`] | dependency-free SVG chart rendering (`uts-viz`) |
 //! | [`net`] | hypercube/mesh routing simulation validating the t_lb models (`uts-net`) |
+//! | [`ckpt`] | versioned snapshot format, checkpoint policies, fault injection (`uts-ckpt`) |
 
 pub use uts_analysis as analysis;
+pub use uts_ckpt as ckpt;
 pub use uts_core as core;
 pub use uts_machine as machine;
 pub use uts_mimd as mimd;
@@ -72,18 +74,22 @@ pub use uts_viz as viz;
 
 /// The names almost every user needs.
 pub mod prelude {
+    pub use uts_ckpt::{CheckpointPolicy, CkptError, EngineSnapshot, FaultPlan};
     pub use uts_core::{
-        run, run_fused, run_par, run_reference, run_report_json, run_with, EngineConfig,
-        EngineKind, Matching, Outcome, Scheme, TransferMode, Trigger,
+        config_fingerprint, resume_from_bytes, resume_with, run, run_fused, run_par, run_reference,
+        run_report_json, run_with, CheckpointCfg, CheckpointSink, EngineConfig, EngineKind,
+        Matching, Outcome, Scheme, TransferMode, Trigger,
     };
     pub use uts_machine::{
         CostModel, DonationSpread, LbCostBreakdown, LbPhaseRecord, Ledger, Report, SimdMachine,
         Topology, TriggerFiring, TriggerKind,
     };
-    pub use uts_tree::{serial_dfs, HeuristicProblem, SearchStack, SplitPolicy, TreeProblem};
+    pub use uts_tree::{
+        serial_dfs, CkptNode, HeuristicProblem, SearchStack, SplitPolicy, TreeProblem,
+    };
 
     pub use crate::{
-        analysis, core, machine, mimd, net, par, problems, puzzle15, scan, synth, tree,
+        analysis, ckpt, core, machine, mimd, net, par, problems, puzzle15, scan, synth, tree,
     };
 }
 
