@@ -1,0 +1,114 @@
+//! AoS-vs-SoA microbenchmark for the burst kernel and the census sweeps.
+//!
+//! The engines moved their per-PE state from one heap-allocated
+//! [`uts_tree::SearchStack`] per PE (array-of-structures) to the
+//! [`uts_tree::StackArena`]: one flat node slab per PE plus a dense
+//! `u32` length array shared by the whole ensemble (structure-of-arrays,
+//! DESIGN.md §6.3). This bench isolates the two kernels that motivated
+//! the layout, at the machine scales the engine bench uses:
+//!
+//! * `burst_aos` / `burst_soa` — the macro-step burst (every PE runs a
+//!   fixed-budget DFS burst) over cloned ensembles, frame-vector stacks
+//!   vs. flat slabs;
+//! * `census_aos` / `census_soa` — the stack-size histogram + `count_ge`
+//!   suffix sum the event horizon reads, per-stack pointer chase over the
+//!   active list vs. the chunked sweeps in `uts_core::census` over the
+//!   dense length array.
+//!
+//! Populations are mid-run-shaped: every PE holds the root's subtree
+//! after a PE-dependent warm-up burst, so lengths vary across the
+//! ensemble like a real steady state.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use uts_core::census;
+use uts_synth::GeometricTree;
+use uts_tree::{SearchStack, StackArena, TreeProblem};
+
+/// Burst budget per PE per measured pass — long enough that the kernel,
+/// not the loop scaffolding, dominates.
+const BURST: u64 = 32;
+
+type Node = <GeometricTree as TreeProblem>::Node;
+
+/// A P-wide ensemble with diversified stack lengths: each PE starts at the
+/// root and runs a warm-up burst of `1..=8` expansions keyed on its index.
+fn populate(tree: &GeometricTree, p: usize) -> Vec<SearchStack<Node>> {
+    (0..p)
+        .map(|i| {
+            let mut s = SearchStack::from_frames(vec![vec![tree.root()]]);
+            s.expand_burst(tree, (i % 8 + 1) as u64);
+            s
+        })
+        .collect()
+}
+
+fn bench_burst_kernel(c: &mut Criterion) {
+    let tree = GeometricTree { seed: 2, b_max: 8, depth_limit: 7 };
+    let mut g = c.benchmark_group("burst_kernel");
+    for p in [1024usize, 8192] {
+        let stacks = populate(&tree, p);
+        let arena = StackArena::from_stacks(stacks.clone());
+        let lens: Vec<u32> = arena.lens().to_vec();
+        let active: Vec<usize> = (0..p).filter(|&i| !stacks[i].is_empty()).collect();
+
+        g.throughput(Throughput::Elements(p as u64));
+        g.bench_with_input(BenchmarkId::new("burst_aos", p), &p, |b, _| {
+            b.iter_batched(
+                || stacks.clone(),
+                |mut stacks| {
+                    let mut expanded = 0u64;
+                    for s in &mut stacks {
+                        expanded += s.expand_burst(&tree, BURST).expanded;
+                    }
+                    black_box(expanded)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_with_input(BenchmarkId::new("burst_soa", p), &p, |b, _| {
+            b.iter_batched(
+                || arena.clone(),
+                |mut arena| {
+                    let mut expanded = 0u64;
+                    for i in 0..arena.p() {
+                        expanded += arena.expand_burst(i, &tree, BURST).expanded;
+                    }
+                    black_box(expanded)
+                },
+                BatchSize::LargeInput,
+            )
+        });
+
+        g.bench_with_input(BenchmarkId::new("census_aos", p), &p, |b, _| {
+            let mut hist: Vec<u32> = Vec::new();
+            let mut cg: Vec<u32> = Vec::new();
+            b.iter(|| {
+                // The pre-SoA census: chase every active PE's stack.
+                hist.clear();
+                for &i in &active {
+                    let s = stacks[i].len();
+                    if s >= hist.len() {
+                        hist.resize(s + 1, 0);
+                    }
+                    hist[s] += 1;
+                }
+                census::build_count_ge(&hist, &mut cg);
+                black_box(cg[0])
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("census_soa", p), &p, |b, _| {
+            let mut hist: Vec<u32> = Vec::new();
+            let mut cg: Vec<u32> = Vec::new();
+            b.iter(|| {
+                census::build_hist(&lens, &mut hist);
+                census::build_count_ge(&hist, &mut cg);
+                black_box(cg[0])
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_burst_kernel);
+criterion_main!(benches);

@@ -33,7 +33,7 @@ use uts_machine::{
     SimTime, SimdMachine, TriggerFiring, TriggerKind,
 };
 use uts_tree::codec::{put_bool, put_u32, put_u64, put_usize};
-use uts_tree::{CkptNode, CodecError, Reader, SearchStack};
+use uts_tree::{CkptNode, CodecError, Reader, SearchStack, StackArena};
 
 /// Leading bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"UTSCKPT\0";
@@ -417,6 +417,29 @@ fn decode_metrics(r: &mut Reader<'_>) -> Result<Metrics, CodecError> {
     })
 }
 
+/// Where a snapshot's PE stacks are read from at encode time. The frame
+/// view (`Vec<Vec<N>>` [`SearchStack`]s) is the canonical representation;
+/// the structure-of-arrays [`StackArena`] the hot engines run on encodes
+/// byte-identically (`StackArena::encode_pe` is specified against the
+/// `SearchStack` codec), so either source yields the same snapshot bytes
+/// and both decode into the same `Vec<SearchStack<N>>`.
+pub enum StackSource<'a, N> {
+    /// The canonical frame representation (oracle engine, owned snapshots).
+    Frames(&'a [SearchStack<N>]),
+    /// The dense arena the burst kernels run on, serialized in place.
+    Arena(&'a StackArena<N>),
+}
+
+impl<N> StackSource<'_, N> {
+    /// Ensemble size `P`.
+    pub fn p(&self) -> usize {
+        match self {
+            StackSource::Frames(stacks) => stacks.len(),
+            StackSource::Arena(arena) => arena.p(),
+        }
+    }
+}
+
 /// Borrowed view of engine state at a macro-step boundary — the encode-side
 /// twin of [`EngineSnapshot`]. Engines build one over their *live* state
 /// (stacks, donation vector) so a snapshot costs one serialization pass and
@@ -443,7 +466,7 @@ pub struct SnapshotView<'a, N> {
     /// The horizon log so far, as `(start_cycle, horizon, ran)` triples.
     pub macro_steps: &'a [(u64, u64, u64)],
     /// Every PE's DFS stack, index = PE id.
-    pub stacks: &'a [SearchStack<N>],
+    pub stacks: StackSource<'a, N>,
 }
 
 impl<N: CkptNode> SnapshotView<'_, N> {
@@ -478,9 +501,19 @@ impl<N: CkptNode> SnapshotView<'_, N> {
         for ms in self.macro_steps {
             ms.encode_node(out);
         }
-        put_usize(out, self.stacks.len());
-        for s in self.stacks {
-            s.encode_node(out);
+        match &self.stacks {
+            StackSource::Frames(stacks) => {
+                put_usize(out, stacks.len());
+                for s in *stacks {
+                    s.encode_node(out);
+                }
+            }
+            StackSource::Arena(arena) => {
+                put_usize(out, arena.p());
+                for i in 0..arena.p() {
+                    arena.encode_pe(i, out);
+                }
+            }
         }
     }
 
@@ -488,7 +521,7 @@ impl<N: CkptNode> SnapshotView<'_, N> {
     /// fingerprint. Deterministic: the same snapshot state and fingerprint
     /// always produce the same bytes.
     pub fn encode(&self, config_fingerprint: u64) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(256 + 64 * self.stacks.len());
+        let mut payload = Vec::with_capacity(256 + 64 * self.stacks.p());
         self.encode_payload(&mut payload);
         let mut out = Vec::with_capacity(MAGIC.len() + 28 + payload.len());
         out.extend_from_slice(&MAGIC);
@@ -563,7 +596,7 @@ impl<N: CkptNode> EngineSnapshot<N> {
             machine: &self.machine,
             recorder: self.recorder.as_ref(),
             macro_steps: &self.macro_steps,
-            stacks: &self.stacks,
+            stacks: StackSource::Frames(&self.stacks),
         }
         .encode(config_fingerprint)
     }
@@ -700,6 +733,36 @@ mod tests {
         assert_eq!(back.encode(0xFEED), bytes, "encode∘decode is the identity on bytes");
         assert_eq!(back.p(), 4);
         assert_eq!(back.machine.metrics.active_trace.to_vec(), vec![3, 3, 3, 3, 3, 1, 1]);
+    }
+
+    #[test]
+    fn arena_stack_source_encodes_byte_identically() {
+        let snap = sample_snapshot();
+        let via_frames = snap.encode(0xFEED);
+        let arena = StackArena::from_stacks(snap.stacks.clone());
+        let via_arena = SnapshotView {
+            step: snap.step,
+            in_init: snap.in_init,
+            goals: snap.goals,
+            donations: &snap.donations,
+            peak_stack_nodes: snap.peak_stack_nodes,
+            global_pointer: snap.global_pointer,
+            machine: &snap.machine,
+            recorder: snap.recorder.as_ref(),
+            macro_steps: &snap.macro_steps,
+            stacks: StackSource::Arena(&arena),
+        }
+        .encode(0xFEED);
+        assert_eq!(via_arena, via_frames, "SoA and frame sources must be indistinguishable");
+        let back = EngineSnapshot::<(usize, u64)>::decode(&via_arena, 0xFEED).expect("decodes");
+        let again = StackArena::from_stacks(back.stacks.clone());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..again.p() {
+            again.encode_pe(i, &mut a);
+            back.stacks[i].encode_node(&mut b);
+        }
+        assert_eq!(a, b, "SoA→frames→SoA re-encode is bit-exact");
     }
 
     #[test]

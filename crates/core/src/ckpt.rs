@@ -24,10 +24,10 @@ use std::sync::{Arc, Mutex};
 
 use uts_ckpt::{
     CheckpointPolicy, CkptError, EngineSnapshot, FaultPlan, Fingerprint, MachineState,
-    RecorderState, SnapshotView,
+    RecorderState, SnapshotView, StackSource,
 };
 use uts_machine::SimdMachine;
-use uts_tree::{CkptNode, SearchStack, SplitPolicy, TreeProblem};
+use uts_tree::{CkptNode, SplitPolicy, TreeProblem};
 
 use crate::engine::{EngineConfig, EngineKind, LedgerRecorder, MacroStep, Outcome, ResumeState};
 use crate::matcher::MatchState;
@@ -197,7 +197,7 @@ pub(crate) fn capture<N: CkptNode>(
     machine: &SimdMachine,
     recorder: Option<&LedgerRecorder>,
     macro_steps: &[MacroStep],
-    stacks: &[SearchStack<N>],
+    stacks: StackSource<'_, N>,
 ) -> Vec<u8> {
     let machine = MachineState::capture(machine);
     let recorder = recorder.map(|r| RecorderState {

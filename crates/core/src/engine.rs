@@ -27,7 +27,7 @@ use uts_machine::{
     CostModel, LbPhaseRecord, Ledger, Report, SimdMachine, TriggerFiring, TriggerKind,
 };
 use uts_scan::{MatchScratch, Pair};
-use uts_tree::{SearchStack, SplitPolicy, TreeProblem};
+use uts_tree::{SearchStack, SplitPolicy, StackArena, TreeProblem};
 
 use crate::matcher::MatchState;
 use crate::scheme::{Scheme, TransferMode, Trigger};
@@ -342,10 +342,12 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
     let mut hook = crate::ckpt::Hook::new(cfg, state.step);
     let mut machine = state.machine;
     let mut matcher = state.matcher;
-    // Per-processor DFS stacks. All per-cycle scratch (child frames, pair
-    // lists, packed enumerations) lives in long-lived buffers below, so a
-    // warmed-up cycle performs no allocator traffic.
-    let mut pes = state.pes;
+    // Per-processor DFS stacks in structure-of-arrays form: one flat node
+    // slab per PE plus the dense `lens` mirror the census sweeps read. All
+    // per-cycle scratch (pair lists, packed enumerations) lives in
+    // long-lived buffers below, so a warmed-up cycle performs no allocator
+    // traffic.
+    let mut arena = StackArena::from_stacks(state.pes);
     let mut goals = state.goals;
     let mut donations = state.donations;
     let mut peak_stack_nodes = state.peak_stack_nodes;
@@ -373,11 +375,9 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
     // complement is exactly the idle set, so no idle flags exist at all:
     // the matching derives the idle enumeration it needs (a `min(A, I)`
     // prefix — surplus idle PEs are never matched) by walking the gaps in
-    // this list.
-    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
-    // Busy (= splittable) flags, maintained incrementally; they are only
-    // ever read through `active` (busy implies active).
-    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
+    // this list. Busy (= splittable) state needs no flag array either:
+    // `arena.lens()[i] >= 2` reads it straight off the dense census state.
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| arena.len_of(i) > 0).collect();
 
     // Long-lived balancing buffers, reused across every round of every
     // balancing phase of the run.
@@ -389,8 +389,8 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
                 window_h = crate::macrostep::compute_horizon(
                     cfg,
                     &machine,
-                    |i| pes[i].len(),
-                    &active,
+                    arena.lens(),
+                    active.len(),
                     in_init,
                     &mut size_hist,
                     &mut count_ge,
@@ -403,9 +403,8 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
         // ---- fused expansion + census (one pass over the active list) ----
         let stats = fused_expansion_cycle(
             problem,
-            &mut pes,
+            &mut arena,
             &mut active,
-            &mut busy_flags,
             &mut goals,
             &mut peak_stack_nodes,
         );
@@ -441,9 +440,8 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
                 cfg,
                 &mut machine,
                 &mut matcher,
-                &mut pes,
+                &mut arena,
                 &mut active,
-                &mut busy_flags,
                 &mut busy_count,
                 &mut donations,
                 &mut lb,
@@ -470,7 +468,7 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
                         &machine,
                         recorder.as_ref(),
                         &[],
-                        &pes,
+                        uts_ckpt::StackSource::Arena(&arena),
                     )
                 });
                 if dies {
@@ -509,41 +507,39 @@ pub(crate) struct CycleStats {
     pub busy: usize,
 }
 
-/// One fused expansion + census cycle: a single pass over the dense
-/// active list. Every listed PE holds work, so each pops exactly one
-/// node; its post-push stack state doubles as this cycle's census entry,
-/// which removes the second O(P) sweep of the reference loop. Children
-/// are generated straight into a pooled frame vector — no bounce through
-/// a per-PE child buffer. This is the single-cycle hot path shared by the
-/// fused engine and the macro/par engines' one-cycle steps.
+/// One fused expansion + census cycle: a single branch-light pass over the
+/// dense active list. Every listed PE holds work, so each pops exactly one
+/// node; children are generated straight onto the PE's flat node slab (no
+/// bounce through a per-PE child buffer, no frame vector at all), and the
+/// post-push length lands in the dense `lens` mirror, which doubles as
+/// this cycle's census entry — busy state is `lens[i] >= 2`, no flag array
+/// to maintain. This is the single-cycle hot path shared by the fused
+/// engine and the macro/par engines' one-cycle steps.
 #[inline]
 pub(crate) fn fused_expansion_cycle<P: TreeProblem>(
     problem: &P,
-    pes: &mut [SearchStack<P::Node>],
+    arena: &mut StackArena<P::Node>,
     active: &mut Vec<usize>,
-    busy_flags: &mut [bool],
     goals: &mut u64,
     peak_stack_nodes: &mut usize,
 ) -> CycleStats {
+    let (slabs, lens) = arena.parts_mut();
     let started = active.len();
     let mut busy_count = 0usize;
     let mut kept = 0usize;
     for scan in 0..started {
         let i = active[scan];
-        let stack = &mut pes[i];
-        let node = stack.pop_next().expect("active PEs hold work");
+        let slab = &mut slabs[i];
+        let node = slab.pop_next().expect("active PEs hold work");
         if problem.is_goal(&node) {
             *goals += 1;
         }
-        stack.push_frame_with(|frame| problem.expand(&node, frame));
-        let len = stack.len();
-        if len == 0 {
-            // Exhausted: leave the active list (rejoining the idle set
-            // implicitly). A PE that empties was not splittable, so its
-            // busy flag is already false.
-            debug_assert!(!busy_flags[i]);
-        } else {
-            busy_flags[i] = len >= 2;
+        slab.push_frame_with(|out| problem.expand(&node, out));
+        let len = slab.len();
+        lens[i] = len as u32;
+        // A PE that empties leaves the active list (rejoining the idle set
+        // implicitly); otherwise its fresh length is this cycle's census.
+        if len > 0 {
             busy_count += (len >= 2) as usize;
             *peak_stack_nodes = (*peak_stack_nodes).max(len);
             active[kept] = i;
@@ -740,9 +736,8 @@ pub(crate) fn balancing_phase<N>(
     cfg: &EngineConfig,
     machine: &mut SimdMachine,
     matcher: &mut MatchState,
-    pes: &mut [SearchStack<N>],
+    arena: &mut StackArena<N>,
     active: &mut Vec<usize>,
-    busy_flags: &mut [bool],
     busy_count: &mut usize,
     donations: &mut [u32],
     lb: &mut LbBuffers,
@@ -753,7 +748,7 @@ pub(crate) fn balancing_phase<N>(
     let mut transfers = 0u64;
     match cfg.scheme.transfers {
         TransferMode::Single => {
-            pack_busy(active, busy_flags, &mut lb.scratch.packed_busy);
+            pack_busy(active, arena.lens(), &mut lb.scratch.packed_busy);
             let need = lb.scratch.packed_busy.len().min(cfg.p - active.len());
             pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
             matcher.match_round_packed(
@@ -763,11 +758,10 @@ pub(crate) fn balancing_phase<N>(
                 &mut lb.pairs,
             );
             transfers += apply_pairs(
-                pes,
+                arena,
                 &lb.pairs,
                 cfg.split,
                 donations,
-                busy_flags,
                 busy_count,
                 &mut lb.incoming,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
@@ -777,16 +771,16 @@ pub(crate) fn balancing_phase<N>(
         }
         TransferMode::Multiple => {
             // Repeat rendezvous rounds until no idle PE can be fed
-            // (required for D^P, Sec. 2.3). Flags and the active list are
-            // updated transfer-by-transfer, so no per-round refresh sweep
-            // is needed; the merge runs each round so the next round's
-            // enumerations see the PEs just fed.
+            // (required for D^P, Sec. 2.3). The lens mirror and the active
+            // list are updated transfer-by-transfer, so no per-round
+            // refresh sweep is needed; the merge runs each round so the
+            // next round's enumerations see the PEs just fed.
             let mut idle_left = idle;
             loop {
                 if *busy_count == 0 || idle_left == 0 {
                     break;
                 }
-                pack_busy(active, busy_flags, &mut lb.scratch.packed_busy);
+                pack_busy(active, arena.lens(), &mut lb.scratch.packed_busy);
                 let need = lb.scratch.packed_busy.len().min(idle_left);
                 pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
                 matcher.match_round_packed(
@@ -799,11 +793,10 @@ pub(crate) fn balancing_phase<N>(
                     break;
                 }
                 let done = apply_pairs(
-                    pes,
+                    arena,
                     &lb.pairs,
                     cfg.split,
                     donations,
-                    busy_flags,
                     busy_count,
                     &mut lb.incoming,
                     recorder.as_mut().map(LedgerRecorder::receipts_mut),
@@ -817,20 +810,18 @@ pub(crate) fn balancing_phase<N>(
         TransferMode::Equalize => {
             // FEGS: move counted chunks until node counts are near-uniform
             // (donors above average feed the poorest). Equalization touches
-            // arbitrary PEs, so rebuild the active list and flags wholesale
-            // afterwards (it is already O(P) per round; one extra sweep
-            // changes nothing asymptotic).
+            // arbitrary PEs, so rebuild the active list and busy count
+            // wholesale afterwards (it is already O(P) per round; one extra
+            // sweep changes nothing asymptotic).
             rounds = equalize(
-                pes,
+                arena,
                 &mut transfers,
                 donations,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
             );
             active.clear();
             *busy_count = 0;
-            for (i, stack) in pes.iter().enumerate() {
-                let len = stack.len();
-                busy_flags[i] = len >= 2;
+            for (i, &len) in arena.lens().iter().enumerate() {
                 *busy_count += (len >= 2) as usize;
                 if len > 0 {
                     active.push(i);
@@ -847,10 +838,11 @@ pub(crate) fn balancing_phase<N>(
 }
 
 /// Pack the busy enumeration (ascending) from the dense active list: busy
-/// implies active, so this is O(A) where a flag sweep would be O(P).
-pub(crate) fn pack_busy(active: &[usize], busy_flags: &[bool], out: &mut Vec<usize>) {
+/// implies active, so this is O(A) where a full lens sweep would be O(P).
+/// Busy state is read straight off the dense census array (`lens[i] >= 2`).
+pub(crate) fn pack_busy(active: &[usize], lens: &[u32], out: &mut Vec<usize>) {
     out.clear();
-    out.extend(active.iter().copied().filter(|&i| busy_flags[i]));
+    out.extend(active.iter().copied().filter(|&i| lens[i] >= 2));
 }
 
 /// The first `need` idle PEs in ascending order — the gaps in the sorted
@@ -871,30 +863,16 @@ pub(crate) fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mu
     }
 }
 
-/// Two disjoint mutable borrows out of one slice.
-fn pair_mut<T>(xs: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
-    debug_assert_ne!(i, j);
-    if i < j {
-        let (lo, hi) = xs.split_at_mut(j);
-        (&mut lo[i], &mut hi[0])
-    } else {
-        let (lo, hi) = xs.split_at_mut(i);
-        (&mut hi[0], &mut lo[j])
-    }
-}
-
 /// Apply one round of matched transfers, maintaining the incremental
-/// census: donor/receiver flags, the busy count, and the list of PEs that
-/// must (re)join the active list. Transfers run through
-/// [`SearchStack::split_into`], which recycles frame vectors on both sides
-/// instead of allocating a fresh stack per donation.
-#[allow(clippy::too_many_arguments)]
+/// census: the busy count and the list of PEs that must (re)join the
+/// active list (busy state itself lives in the arena's lens mirror, which
+/// [`StackArena::split_into`] keeps in sync). Transfers move nodes between
+/// flat slabs directly.
 pub(crate) fn apply_pairs<N>(
-    pes: &mut [SearchStack<N>],
+    arena: &mut StackArena<N>,
     pairs: &[Pair],
     split: SplitPolicy,
     donations: &mut [u32],
-    busy_flags: &mut [bool],
     busy_count: &mut usize,
     incoming: &mut Vec<usize>,
     mut receipts: Option<&mut [u32]>,
@@ -902,22 +880,17 @@ pub(crate) fn apply_pairs<N>(
     let mut done = 0;
     for pair in pairs {
         debug_assert_ne!(pair.donor, pair.receiver);
-        let (donor, receiver) = pair_mut(pes, pair.donor, pair.receiver);
-        debug_assert!(receiver.is_empty());
-        if donor.split_into(split, receiver) {
+        debug_assert_eq!(arena.len_of(pair.receiver), 0);
+        if arena.split_into(pair.donor, pair.receiver, split) {
             donations[pair.donor] += 1;
             if let Some(r) = receipts.as_deref_mut() {
                 r[pair.receiver] += 1;
             }
             done += 1;
-            // Donor stays non-empty but may drop below the busy threshold.
-            let donor_busy = donor.can_split();
-            *busy_count -= (!donor_busy) as usize;
-            busy_flags[pair.donor] = donor_busy;
-            // Receiver now holds work (and may itself be splittable).
-            let receiver_busy = receiver.can_split();
-            *busy_count += receiver_busy as usize;
-            busy_flags[pair.receiver] = receiver_busy;
+            // Donor stays non-empty but may drop below the busy threshold;
+            // receiver now holds work (and may itself be splittable).
+            *busy_count -= (!arena.can_split(pair.donor)) as usize;
+            *busy_count += arena.can_split(pair.receiver) as usize;
             incoming.push(pair.receiver);
         }
     }
@@ -958,15 +931,16 @@ pub(crate) fn merge_active(
 /// FEGS equalization: repeatedly let every above-average PE ship its excess
 /// to the poorest PEs until counts are within 1 of uniform (or progress
 /// stops). Returns the number of transfer rounds. Donated chunks keep their
-/// frame structure ([`SearchStack::merge_from`]); see DESIGN.md.
+/// frame structure ([`StackArena::split_count_into`] reproduces
+/// `split_count` + `merge_from` over the flat slabs); see DESIGN.md.
 pub(crate) fn equalize<N>(
-    pes: &mut [SearchStack<N>],
+    arena: &mut StackArena<N>,
     transfers: &mut u64,
     donations: &mut [u32],
     mut receipts: Option<&mut [u32]>,
 ) -> u32 {
-    let p = pes.len();
-    let total: usize = pes.iter().map(SearchStack::len).sum();
+    let p = arena.p();
+    let total: usize = arena.lens().iter().map(|&l| l as usize).sum();
     let target = total.div_ceil(p);
     let mut rounds = 0u32;
     // Bound the rounds: each round matches donors to receivers 1-1, so
@@ -976,17 +950,16 @@ pub(crate) fn equalize<N>(
         // Donors hold > target; receivers hold < target (poorest first ==
         // index order is fine; rendezvous semantics).
         let donors: Vec<usize> =
-            (0..p).filter(|&i| pes[i].len() > target && pes[i].can_split()).collect();
-        let receivers: Vec<usize> = (0..p).filter(|&i| pes[i].len() < target).collect();
+            (0..p).filter(|&i| arena.len_of(i) > target && arena.can_split(i)).collect();
+        let receivers: Vec<usize> = (0..p).filter(|&i| arena.len_of(i) < target).collect();
         if donors.is_empty() || receivers.is_empty() {
             break;
         }
         let mut moved_any = false;
         for (&d, &r) in donors.iter().zip(&receivers) {
-            let excess = pes[d].len() - target;
-            let want = target - pes[r].len();
-            if let Some(chunk) = pes[d].split_count(excess.min(want)) {
-                pes[r].merge_from(chunk);
+            let excess = arena.len_of(d) - target;
+            let want = target - arena.len_of(r);
+            if arena.split_count_into(d, r, excess.min(want)) > 0 {
                 donations[d] += 1;
                 if let Some(rc) = receipts.as_deref_mut() {
                     rc[r] += 1;

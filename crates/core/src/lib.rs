@@ -39,6 +39,7 @@
 //! assert_eq!(outcome.report.nodes_expanded, uts_tree::serial_dfs(&tree).expanded);
 //! ```
 
+pub mod census;
 pub mod ckpt;
 pub mod engine;
 pub mod macrostep;

@@ -38,8 +38,9 @@
 //! costs the same as the fused engine.
 
 use uts_machine::SimdMachine;
-use uts_tree::TreeProblem;
+use uts_tree::{StackArena, TreeProblem};
 
+use crate::census::{build_count_ge, build_hist};
 use crate::engine::{
     balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, MacroStep,
     Outcome, ResumeState,
@@ -63,7 +64,7 @@ pub(crate) fn run_from<P: TreeProblem>(
     let mut hook = crate::ckpt::Hook::new(cfg, state.step);
     let mut machine = state.machine;
     let mut matcher = state.matcher;
-    let mut pes = state.pes;
+    let mut arena = StackArena::from_stacks(state.pes);
     let mut goals = state.goals;
     let mut donations = state.donations;
     let mut peak_stack_nodes = state.peak_stack_nodes;
@@ -73,11 +74,11 @@ pub(crate) fn run_from<P: TreeProblem>(
     let mut truncated = false;
     let mut killed = false;
 
-    // Dense sorted active list + splittable flags, exactly as in the fused
-    // engine (see `engine.rs` for the invariants), derived from the stacks
-    // (identically for a fresh root and a restored snapshot).
-    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
-    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
+    // Dense sorted active list, exactly as in the fused engine (see
+    // `engine.rs` for the invariants), derived from the stacks (identically
+    // for a fresh root and a restored snapshot). Busy state is read off the
+    // arena's dense lens mirror; no flag array exists.
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| arena.len_of(i) > 0).collect();
 
     // Stack-size histogram over the *active* PEs (`size_hist[s]` = number
     // of active PEs whose stack holds `s` nodes), rebuilt on demand at
@@ -94,8 +95,8 @@ pub(crate) fn run_from<P: TreeProblem>(
         let h = compute_horizon(
             cfg,
             &machine,
-            |i| pes[i].len(),
-            &active,
+            arena.lens(),
+            active.len(),
             in_init,
             &mut size_hist,
             &mut count_ge,
@@ -113,9 +114,8 @@ pub(crate) fn run_from<P: TreeProblem>(
             // `run_fused`'s hot loop (the shared helper).
             let stats = crate::engine::fused_expansion_cycle(
                 problem,
-                &mut pes,
+                &mut arena,
                 &mut active,
-                &mut busy_flags,
                 &mut goals,
                 &mut peak_stack_nodes,
             );
@@ -124,19 +124,22 @@ pub(crate) fn run_from<P: TreeProblem>(
             ran = 1;
         } else {
             // ---- macro-step: one tight DFS burst per active PE ----
+            // The burst sweep runs straight over the slab/lens windows: one
+            // flat node slab per PE, post-burst lengths written into the
+            // dense census mirror.
             death_cycles.clear();
+            let (slabs, lens) = arena.parts_mut();
             for scan in 0..started {
                 let i = active[scan];
-                let stack = &mut pes[i];
-                let burst = stack.expand_burst(problem, h);
+                let slab = &mut slabs[i];
+                let burst = slab.expand_burst(problem, h);
                 goals += burst.goals;
                 peak_stack_nodes = peak_stack_nodes.max(burst.peak);
-                let s1 = stack.len();
+                let s1 = slab.len();
+                lens[i] = s1 as u32;
                 if s1 == 0 {
-                    busy_flags[i] = false;
                     death_cycles.push(burst.expanded);
                 } else {
-                    busy_flags[i] = s1 >= 2;
                     busy_count += (s1 >= 2) as usize;
                     active[kept] = i;
                     kept += 1;
@@ -178,9 +181,8 @@ pub(crate) fn run_from<P: TreeProblem>(
                 cfg,
                 &mut machine,
                 &mut matcher,
-                &mut pes,
+                &mut arena,
                 &mut active,
-                &mut busy_flags,
                 &mut busy_count,
                 &mut donations,
                 &mut lb,
@@ -203,7 +205,7 @@ pub(crate) fn run_from<P: TreeProblem>(
                     &machine,
                     recorder.as_ref(),
                     &macro_steps,
-                    &pes,
+                    uts_ckpt::StackSource::Arena(&arena),
                 )
             });
             if dies {
@@ -224,15 +226,16 @@ pub(crate) fn run_from<P: TreeProblem>(
 /// cycle-by-cycle, and the init phase balances after every cycle by
 /// construction; both degrade gracefully to single-cycle steps.
 /// `size_hist`/`count_ge` are caller-owned scratch, rebuilt only when a
-/// multi-cycle horizon is actually reachable. `stack_len` maps a PE index
-/// to its current stack size — a closure rather than a slice so engines
-/// with different per-PE representations (the reference engine's `Pe`
-/// records, the other engines' bare stacks) share the one implementation.
+/// multi-cycle horizon is actually reachable. `lens` is the dense per-PE
+/// stack-length array (`lens[i]` = PE `i`'s stack size, 0 when idle), the
+/// structure-of-arrays mirror every engine maintains; the distribution is
+/// rebuilt from it with the chunked census sweeps (`crate::census`), which
+/// skip idle PEs and so agree exactly with the old active-list sweep.
 pub(crate) fn compute_horizon(
     cfg: &EngineConfig,
     machine: &SimdMachine,
-    stack_len: impl Fn(usize) -> usize,
-    active: &[usize],
+    lens: &[u32],
+    active_len: usize,
     in_init: bool,
     size_hist: &mut Vec<u32>,
     count_ge: &mut Vec<u32>,
@@ -242,18 +245,18 @@ pub(crate) fn compute_horizon(
         || !horizon_exceeds_one(
             cfg.scheme.trigger,
             cfg.p,
-            active.len(),
+            active_len,
             machine.phase(),
             cfg.cost.u_calc,
             machine.estimated_lb_cost(),
         ) {
         1
     } else {
-        rebuild_hist(stack_len, active, size_hist);
+        build_hist(lens, size_hist);
         build_count_ge(size_hist, count_ge);
         let hctx = HorizonCtx {
             p: cfg.p,
-            active: active.len(),
+            active: active_len,
             count_ge,
             phase: *machine.phase(),
             u_calc: cfg.cost.u_calc,
@@ -270,31 +273,6 @@ pub(crate) fn compute_horizon(
     h
 }
 
-/// Rebuild the stack-size histogram over the active PEs: one O(A) sweep,
-/// run only at checkpoints that go on to compute a horizon.
-fn rebuild_hist(stack_len: impl Fn(usize) -> usize, active: &[usize], hist: &mut Vec<u32>) {
-    hist.clear();
-    for &i in active {
-        let s = stack_len(i);
-        if s >= hist.len() {
-            hist.resize(s + 1, 0);
-        }
-        hist[s] += 1;
-    }
-}
-
-/// Suffix-sum the histogram into `count_ge[t]` = #active PEs with stack
-/// size >= t. O(max stack size), no pointer chasing.
-fn build_count_ge(hist: &[u32], out: &mut Vec<u32>) {
-    out.clear();
-    out.resize(hist.len() + 1, 0);
-    let mut acc = 0u32;
-    for t in (0..hist.len()).rev() {
-        acc += hist[t];
-        out[t] = acc;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -302,15 +280,6 @@ mod tests {
     use uts_machine::CostModel;
     use uts_synth::GeometricTree;
     use uts_tree::serial_dfs;
-
-    #[test]
-    fn count_ge_is_the_suffix_sum() {
-        let mut out = Vec::new();
-        build_count_ge(&[0, 2, 0, 1], &mut out);
-        assert_eq!(out, vec![3, 3, 1, 1, 0]);
-        build_count_ge(&[], &mut out);
-        assert_eq!(out, vec![0]);
-    }
 
     #[test]
     fn macro_steps_partition_the_run() {

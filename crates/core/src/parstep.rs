@@ -1,22 +1,28 @@
 //! Host-parallel event-horizon macro-steps.
 //!
 //! The macro engine ([`crate::macrostep::run`]) already batches the search
-//! phase into per-PE [`uts_tree::SearchStack::expand_burst`] loops between
+//! phase into per-PE [`uts_tree::PeSlab::expand_burst`] loops between
 //! trigger checkpoints. Within one macro-step those bursts are independent
-//! by construction — each touches only its own PE's stack — which makes
+//! by construction — each touches only its own PE's slab — which makes
 //! the batch embarrassingly parallel on the host. `run_par` exploits this:
-//! it shards the dense sorted active-PE list into contiguous chunks, runs
-//! each chunk's bursts on its own worker thread into thread-local scratch
-//! (kept-PE list, death cycles, goal/peak totals), and merges the shards
-//! back in PE order on the main thread.
+//! it cuts the dense sorted active-PE list into contiguous **work chunks**
+//! (about four per worker, so stragglers on skewed trees are absorbed by
+//! idle workers instead of stalling the join), publishes the chunk jobs in
+//! a fixed order, and lets worker threads claim them off an atomic cursor.
+//! Each chunk's bursts run into chunk-local scratch (kept-PE list, death
+//! cycles, goal/peak totals), and the main thread merges the chunks back
+//! **in chunk-index order** after the join.
 //!
-//! **Determinism argument** (DESIGN.md §6.2). The merged state is
-//! bit-identical to a sequential pass at any worker count because every
-//! merged quantity is either order-independent or re-ordered canonically:
+//! **Determinism argument** (DESIGN.md §6.3). Only the *assignment* of
+//! chunks to threads is dynamic; everything that reaches engine state is
+//! fixed before any worker starts:
 //!
-//! * *kept active list* — shards are contiguous chunks of a sorted list,
-//!   so concatenating per-shard kept lists in shard order *is* PE order;
-//! * *death cycles* — sorted before the schedule reconstruction, so shard
+//! * *chunk contents* — chunk `c` is a fixed contiguous slice of the
+//!   sorted active list, computed serially from `(started, workers)`;
+//!   which thread runs it cannot change what it does;
+//! * *kept active list* — chunks are contiguous slices of a sorted list,
+//!   so concatenating per-chunk kept lists in chunk order *is* PE order;
+//! * *death cycles* — sorted before the schedule reconstruction, so chunk
 //!   arrival order is irrelevant
 //!   ([`uts_machine::SimdMachine::expansion_cycles_with_deaths`] consumes
 //!   the sorted multiset);
@@ -27,18 +33,22 @@
 //! Everything sequenced — horizon computation, schedule reconstruction,
 //! the trigger checkpoint, and the whole balancing phase — runs on the
 //! main thread between batches, exactly as in the serial macro engine.
-//! No worker observes another worker's state, there are no atomics, no
-//! locks, and no floating-point reassociation, so the schedule cannot
-//! depend on thread count or interleaving even in principle.
+//! The one atomic (the claim cursor) orders nothing but job pickup; no
+//! worker observes another worker's state, and no floating-point
+//! reassociation exists, so the schedule cannot depend on thread count or
+//! interleaving even in principle.
 //!
 //! Workers are spawned per macro-step with [`std::thread::scope`] (the
 //! vendored `rayon` facade is a sequential shim, so scoped threads are the
 //! real parallelism primitive here); scratch buffers persist across steps
-//! so a warmed-up step allocates nothing, and small batches skip the
+//! so a warmed-up step allocates little, and small batches skip the
 //! fan-out entirely — `run_par` at one worker is the macro engine plus a
 //! branch.
 
-use uts_tree::{Burst, SearchStack, TreeProblem};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use uts_tree::{Burst, PeSlab, StackArena, TreeProblem};
 
 use crate::engine::{
     balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, MacroStep,
@@ -55,6 +65,12 @@ use crate::macrostep::compute_horizon;
 /// path on trees far too small to cross this bar.
 const FAN_OUT_MIN_WORK: u64 = 4096;
 
+/// Chunks published per worker. More than one chunk per worker lets the
+/// claim cursor rebalance skew (one PE's burst can dwarf another's on an
+/// irregular tree); four keeps the per-chunk overhead negligible while
+/// bounding any worker's idle tail at roughly a quarter of a chunk.
+const CHUNKS_PER_WORKER: usize = 4;
+
 /// Resolve the worker count: explicit config knob, else the conventional
 /// `RAYON_NUM_THREADS` override, else one worker per available core.
 pub(crate) fn resolve_threads(cfg: &EngineConfig) -> usize {
@@ -66,18 +82,18 @@ pub(crate) fn resolve_threads(cfg: &EngineConfig) -> usize {
         .max(1)
 }
 
-/// Thread-local results of one shard's burst pass, merged on the main
+/// Chunk-local results of one chunk's burst pass, merged on the main
 /// thread afterwards. Buffers persist across macro-steps (allocation
 /// steadiness, DESIGN.md §6.1) — `reset` only truncates.
 #[derive(Default)]
 struct ShardScratch {
-    /// PEs of this shard still holding work, in ascending PE order.
+    /// PEs of this chunk still holding work, in ascending PE order.
     kept: Vec<usize>,
-    /// Burst lengths of this shard's PEs that drained mid-batch.
+    /// Burst lengths of this chunk's PEs that drained mid-batch.
     deaths: Vec<u64>,
-    /// Shard PEs left splittable (`len >= 2`).
+    /// Chunk PEs left splittable (`len >= 2`).
     busy: usize,
-    /// Expansion/goal/peak totals over the shard's bursts.
+    /// Expansion/goal/peak totals over the chunk's bursts.
     totals: Burst,
 }
 
@@ -90,29 +106,32 @@ impl ShardScratch {
     }
 }
 
-/// Run the bursts of one contiguous shard of the active list. `pes` and
-/// `flags` are the slices of the global arrays covering exactly this
-/// shard's PE index range, re-based at `base` (so global PE `i` lives at
-/// `pes[i - base]`).
-fn run_shard<P: TreeProblem>(
+/// One published chunk job: the active-list slice, its PE-index re-base,
+/// and the disjoint slab/lens windows covering exactly that index range.
+type ChunkJob<'a, N> =
+    (&'a [usize], usize, &'a mut [PeSlab<N>], &'a mut [u32], &'a mut ShardScratch);
+
+/// Run the bursts of one chunk of the active list. `slabs` and `lens` are
+/// the windows of the arena arrays covering exactly this chunk's PE index
+/// range, re-based at `base` (so global PE `i` lives at `slabs[i - base]`).
+fn run_chunk<P: TreeProblem>(
     problem: &P,
     budget: u64,
     chunk: &[usize],
     base: usize,
-    pes: &mut [SearchStack<P::Node>],
-    flags: &mut [bool],
+    slabs: &mut [PeSlab<P::Node>],
+    lens: &mut [u32],
     scr: &mut ShardScratch,
 ) {
     scr.reset();
     for &i in chunk {
-        let stack = &mut pes[i - base];
-        let burst = stack.expand_burst(problem, budget);
-        let s1 = stack.len();
+        let slab = &mut slabs[i - base];
+        let burst = slab.expand_burst(problem, budget);
+        let s1 = slab.len();
+        lens[i - base] = s1 as u32;
         if s1 == 0 {
-            flags[i - base] = false;
             scr.deaths.push(burst.expanded);
         } else {
-            flags[i - base] = s1 >= 2;
             scr.busy += (s1 >= 2) as usize;
             scr.kept.push(i);
         }
@@ -120,11 +139,12 @@ fn run_shard<P: TreeProblem>(
     }
 }
 
-/// Run `problem` to exhaustion (or first goal) under `cfg`, sharding each
-/// macro-step's bursts across host worker threads. The schedule — every
-/// counter, trace, donation vector and goal count — is bit-identical to
-/// [`crate::macrostep::run`] at any thread count (see the module docs for
-/// the argument, and `tests/engine_differential.rs` for the enforcement).
+/// Run `problem` to exhaustion (or first goal) under `cfg`, fanning each
+/// macro-step's bursts out across host worker threads via dynamically
+/// claimed work chunks. The schedule — every counter, trace, donation
+/// vector and goal count — is bit-identical to [`crate::macrostep::run`]
+/// at any thread count (see the module docs for the argument, and
+/// `tests/engine_differential.rs` for the enforcement).
 pub fn run_par<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
     run_par_from(problem, cfg, None)
 }
@@ -140,7 +160,7 @@ pub(crate) fn run_par_from<P: TreeProblem>(
     let mut hook = crate::ckpt::Hook::new(cfg, state.step);
     let mut machine = state.machine;
     let mut matcher = state.matcher;
-    let mut pes = state.pes;
+    let mut arena = StackArena::from_stacks(state.pes);
     let mut goals = state.goals;
     let mut donations = state.donations;
     let mut peak_stack_nodes = state.peak_stack_nodes;
@@ -155,17 +175,17 @@ pub(crate) fn run_par_from<P: TreeProblem>(
     let mut truncated = false;
     let mut killed = false;
 
-    // Dense sorted active list + splittable flags, exactly as in the fused
-    // engine (see `engine.rs` for the invariants), derived from the stacks.
-    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| !pes[i].is_empty()).collect();
-    let mut busy_flags: Vec<bool> = (0..cfg.p).map(|i| pes[i].can_split()).collect();
+    // Dense sorted active list, exactly as in the fused engine (see
+    // `engine.rs` for the invariants), derived from the stacks. Busy state
+    // is read off the arena's dense lens mirror; no flag array exists.
+    let mut active: Vec<usize> = (0..cfg.p).filter(|&i| arena.len_of(i) > 0).collect();
 
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
 
     let mut lb = LbBuffers::default();
-    // Per-worker scratch and the rebuilt active list, both persistent.
-    let mut shards: Vec<ShardScratch> = (0..threads).map(|_| ShardScratch::default()).collect();
+    // Per-chunk scratch and the rebuilt active list, both persistent.
+    let mut shards: Vec<ShardScratch> = Vec::new();
     let mut next_active: Vec<usize> = Vec::new();
     let mut death_cycles: Vec<u64> = Vec::new();
 
@@ -174,8 +194,8 @@ pub(crate) fn run_par_from<P: TreeProblem>(
         let h = compute_horizon(
             cfg,
             &machine,
-            |i| pes[i].len(),
-            &active,
+            arena.lens(),
+            active.len(),
             in_init,
             &mut size_hist,
             &mut count_ge,
@@ -184,7 +204,7 @@ pub(crate) fn run_par_from<P: TreeProblem>(
         let started = active.len();
         let start_cycle = machine.metrics().n_expand;
 
-        // ---- burst phase: fan the shards out, or run inline when small ----
+        // ---- burst phase: fan the chunks out, or run inline when small ----
         let fan_out = threads > 1
             && started >= 2
             && (cfg.threads.is_some() || started as u64 * h >= FAN_OUT_MIN_WORK);
@@ -196,9 +216,8 @@ pub(crate) fn run_par_from<P: TreeProblem>(
             // runs cost the macro engine plus a branch.
             let stats = crate::engine::fused_expansion_cycle(
                 problem,
-                &mut pes,
+                &mut arena,
                 &mut active,
-                &mut busy_flags,
                 &mut goals,
                 &mut peak_stack_nodes,
             );
@@ -207,24 +226,24 @@ pub(crate) fn run_par_from<P: TreeProblem>(
             ran = 1;
         } else if !fan_out {
             // One-worker multi-cycle step: run the macro engine's burst arm
-            // verbatim (in-place compaction of `active`, no shard scratch),
+            // verbatim (in-place compaction of `active`, no chunk scratch),
             // so a non-fanned-out `run_par` is the macro engine plus a
             // branch — parity, not parity-within-noise.
             death_cycles.clear();
             let mut kept = 0usize;
             busy_count = 0;
+            let (slabs, lens) = arena.parts_mut();
             for scan in 0..started {
                 let i = active[scan];
-                let stack = &mut pes[i];
-                let burst = stack.expand_burst(problem, h);
+                let slab = &mut slabs[i];
+                let burst = slab.expand_burst(problem, h);
                 goals += burst.goals;
                 peak_stack_nodes = peak_stack_nodes.max(burst.peak);
-                let s1 = stack.len();
+                let s1 = slab.len();
+                lens[i] = s1 as u32;
                 if s1 == 0 {
-                    busy_flags[i] = false;
                     death_cycles.push(burst.expanded);
                 } else {
-                    busy_flags[i] = s1 >= 2;
                     busy_count += (s1 >= 2) as usize;
                     active[kept] = i;
                     kept += 1;
@@ -236,51 +255,71 @@ pub(crate) fn run_par_from<P: TreeProblem>(
             machine.expansion_cycles_with_deaths(started, ran, &death_cycles);
         } else {
             // `fan_out` implies `threads > 1 && started >= 2`, so at least
-            // two shards always form here.
-            let used = threads.min(started);
-            // Shard k takes a contiguous chunk of the sorted active list;
+            // two chunks and two workers always form here.
+            let workers = threads.min(started);
+            let nc = (workers * CHUNKS_PER_WORKER).min(started);
+            if shards.len() < nc {
+                shards.resize_with(nc, ShardScratch::default);
+            }
+            // Chunk `c` takes a contiguous slice of the sorted active list;
             // its PEs occupy the disjoint index range
             // `active[chunk_start] ..= active[chunk_end - 1]`, so slicing
-            // `pes`/`busy_flags` at the next chunk's first PE hands every
-            // worker a disjoint `&mut` window — safe parallelism with no
-            // interior mutability.
-            let base_size = started / used;
-            let extra = started % used;
-            let mut jobs = Vec::with_capacity(used);
-            let mut pes_rest: &mut [SearchStack<P::Node>] = &mut pes;
-            let mut flags_rest: &mut [bool] = &mut busy_flags;
+            // the arena's slab/lens arrays at the next chunk's first PE
+            // hands every job a disjoint `&mut` window — the windows are
+            // disjoint no matter which worker claims which job.
+            let base_size = started / nc;
+            let extra = started % nc;
+            let (slabs_all, lens_all) = arena.parts_mut();
+            let mut jobs: Vec<Mutex<Option<ChunkJob<'_, P::Node>>>> = Vec::with_capacity(nc);
+            let mut slabs_rest: &mut [PeSlab<P::Node>] = slabs_all;
+            let mut lens_rest: &mut [u32] = lens_all;
             let mut base = 0usize;
             let mut chunk_start = 0usize;
-            let mut shard_iter = shards.iter_mut();
-            for k in 0..used {
-                let len = base_size + usize::from(k < extra);
+            let mut shard_iter = shards[..nc].iter_mut();
+            for c in 0..nc {
+                let len = base_size + usize::from(c < extra);
                 let chunk = &active[chunk_start..chunk_start + len];
                 chunk_start += len;
-                let cut =
-                    if chunk_start < started { active[chunk_start] - base } else { pes_rest.len() };
-                let (pes_here, pes_next) = std::mem::take(&mut pes_rest).split_at_mut(cut);
-                let (flags_here, flags_next) = std::mem::take(&mut flags_rest).split_at_mut(cut);
-                jobs.push((chunk, base, pes_here, flags_here, shard_iter.next().expect("shard")));
+                let cut = if chunk_start < started {
+                    active[chunk_start] - base
+                } else {
+                    slabs_rest.len()
+                };
+                let (slabs_here, slabs_next) = std::mem::take(&mut slabs_rest).split_at_mut(cut);
+                let (lens_here, lens_next) = std::mem::take(&mut lens_rest).split_at_mut(cut);
+                let scr = shard_iter.next().expect("chunk scratch");
+                jobs.push(Mutex::new(Some((chunk, base, slabs_here, lens_here, scr))));
                 base += cut;
-                pes_rest = pes_next;
-                flags_rest = flags_next;
+                slabs_rest = slabs_next;
+                lens_rest = lens_next;
             }
+
+            // ---- claim loop: workers pull chunk jobs off an atomic cursor ----
+            let cursor = AtomicUsize::new(0);
             std::thread::scope(|s| {
-                let mut jobs = jobs;
-                let last = jobs.pop().expect("at least one shard");
-                for (chunk, base, pes_s, flags_s, scr) in jobs {
-                    s.spawn(move || run_shard(problem, h, chunk, base, pes_s, flags_s, scr));
+                let jobs = &jobs;
+                let cursor = &cursor;
+                let work = move || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= jobs.len() {
+                        break;
+                    }
+                    let (chunk, base, slabs_w, lens_w, scr) =
+                        jobs[k].lock().expect("job lock").take().expect("job claimed once");
+                    run_chunk(problem, h, chunk, base, slabs_w, lens_w, scr);
+                };
+                for _ in 0..workers - 1 {
+                    s.spawn(work);
                 }
-                // The main thread takes the final shard instead of idling.
-                let (chunk, base, pes_s, flags_s, scr) = last;
-                run_shard(problem, h, chunk, base, pes_s, flags_s, scr);
+                // The main thread claims too instead of idling.
+                work();
             });
 
-            // ---- merge shards in shard order == PE order (main thread) ----
+            // ---- merge chunks in chunk order == PE order (main thread) ----
             next_active.clear();
             death_cycles.clear();
             busy_count = 0;
-            for scr in &shards[..used] {
+            for scr in &shards[..nc] {
                 next_active.extend_from_slice(&scr.kept);
                 death_cycles.extend_from_slice(&scr.deaths);
                 busy_count += scr.busy;
@@ -320,9 +359,8 @@ pub(crate) fn run_par_from<P: TreeProblem>(
                 cfg,
                 &mut machine,
                 &mut matcher,
-                &mut pes,
+                &mut arena,
                 &mut active,
-                &mut busy_flags,
                 &mut busy_count,
                 &mut donations,
                 &mut lb,
@@ -345,7 +383,7 @@ pub(crate) fn run_par_from<P: TreeProblem>(
                     &machine,
                     recorder.as_ref(),
                     &macro_steps,
-                    &pes,
+                    uts_ckpt::StackSource::Arena(&arena),
                 )
             });
             if dies {

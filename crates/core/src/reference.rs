@@ -70,7 +70,7 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
     // active list, so it derives one at each macro-step boundary — O(P),
     // irrelevant here.
     let track = recorder.is_some() || hook.is_some();
-    let mut replay_active: Vec<usize> = Vec::new();
+    let mut lens_scratch: Vec<u32> = vec![0; cfg.p];
     let mut size_hist: Vec<u32> = Vec::new();
     let mut count_ge: Vec<u32> = Vec::new();
     let mut window_h = 0u64;
@@ -79,13 +79,19 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
     loop {
         if track {
             if h_remaining == 0 {
-                replay_active.clear();
-                replay_active.extend((0..cfg.p).filter(|&i| !pes[i].stack.is_empty()));
+                // The oracle keeps wrapped stacks, no dense length mirror;
+                // build one at each boundary — O(P), irrelevant here.
+                let mut active_len = 0usize;
+                for (i, pe) in pes.iter().enumerate() {
+                    let len = pe.stack.len();
+                    lens_scratch[i] = len as u32;
+                    active_len += (len > 0) as usize;
+                }
                 window_h = compute_horizon(
                     cfg,
                     &machine,
-                    |i| pes[i].stack.len(),
-                    &replay_active,
+                    &lens_scratch,
+                    active_len,
                     in_init,
                     &mut size_hist,
                     &mut count_ge,
@@ -206,7 +212,7 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
                         &machine,
                         recorder.as_ref(),
                         &[],
-                        &stacks,
+                        uts_ckpt::StackSource::Frames(&stacks),
                     )
                 });
                 if dies {

@@ -18,6 +18,7 @@
 //! * [`ida`] — iterative-deepening A\* built from bounded DFS iterations;
 //! * [`dfbb`] — depth-first branch-and-bound over costed problems.
 
+pub mod arena;
 pub mod codec;
 pub mod dfbb;
 pub mod ida;
@@ -25,6 +26,7 @@ pub mod problem;
 pub mod serial;
 pub mod stack;
 
+pub use arena::{PeSlab, StackArena};
 pub use codec::{CkptNode, CodecError, Reader};
 pub use problem::{BoundedNode, BoundedProblem, HeuristicProblem, TreeProblem};
 pub use serial::{serial_dfs, serial_dfs_collect, serial_dfs_first_goal, SerialStats};

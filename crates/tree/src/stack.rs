@@ -446,6 +446,13 @@ impl<N> SearchStack<N> {
         let len = frames.iter().map(Vec::len).sum();
         Self { frames, len, spare: Vec::new() }
     }
+
+    /// Consume the stack, yielding its frame list bottom-to-top — the
+    /// inverse of [`SearchStack::from_frames`] without requiring `N: Clone`.
+    /// The spare pool (allocator warm-up only) is dropped.
+    pub fn into_frames(self) -> Vec<Vec<N>> {
+        self.frames
+    }
 }
 
 #[cfg(test)]

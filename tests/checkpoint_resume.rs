@@ -14,6 +14,13 @@
 //! storage corruption, truncation, wrong run configuration) must be
 //! rejected with its own distinct [`CkptError`].
 //!
+//! Since the structure-of-arrays rework (DESIGN.md §6.3) the fused, macro
+//! and par engines snapshot straight off the [`StackArena`]
+//! (`StackSource::Arena`) while decode always yields frame-vector stacks,
+//! so the whole suite doubles as a SoA↔frames differential; the dedicated
+//! `soa_frames_soa_encode_is_bit_exact_through_the_codec` test pins the
+//! conversion round trip against the codec explicitly.
+//!
 //! Seeded counterexamples persist under `proptest-regressions/` and
 //! replay before the random cases.
 
@@ -186,6 +193,37 @@ fn chain_of_kills_composes_to_the_straight_run() {
     let final_out = resume_from_bytes(&tree, &cfg, bytes.as_ref().expect("chain left a snapshot"))
         .expect("final resume");
     assert_eq!(final_out, straight, "three kills and three resumes must change nothing");
+}
+
+/// The SoA engines serialize a snapshot straight off the arena; a decoded
+/// snapshot holds frame-vector stacks. Routing the decoded stacks through
+/// a [`StackArena`] (frames → SoA → frames) and re-encoding must
+/// reproduce the original container bit-exactly — the arena conversion is
+/// lossless through the `SnapshotView` codec, in both directions, at
+/// every boundary of a real run.
+#[test]
+fn soa_frames_soa_encode_is_bit_exact_through_the_codec() {
+    use simd_tree_search::tree::StackArena;
+    type Node = <GeometricTree as TreeProblem>::Node;
+    let tree = GeometricTree { seed: 17, b_max: 8, depth_limit: 6 };
+    let cfg = EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()).with_ledger();
+    let armed = cfg.clone().with_checkpoint(CheckpointPolicy::every(1).and_on_trigger());
+    let out = run_with(&tree, &armed);
+    assert!(!out.killed);
+    let fp = config_fingerprint(&cfg);
+    let snaps = armed.checkpoint.as_ref().expect("armed").sink.taken();
+    assert!(!snaps.is_empty());
+    for snap in &snaps {
+        let mut via_arena = EngineSnapshot::<Node>::decode(&snap.bytes, fp)
+            .expect("arena-sourced snapshot decodes");
+        via_arena.stacks = StackArena::from_stacks(via_arena.stacks).into_stacks();
+        assert_eq!(
+            via_arena.encode(fp),
+            snap.bytes,
+            "step {}: SoA→frames→SoA re-encode must be bit-equal",
+            snap.step
+        );
+    }
 }
 
 /// Each way a snapshot can be unusable gets its own error: a foreign
