@@ -1,0 +1,125 @@
+//! Dispatch-latency microbenchmark for the persistent worker pool.
+//!
+//! The parallel engine used to pay a full `std::thread::scope` spawn/join
+//! cycle inside *every* macro-step; the d10 engine workload runs 351
+//! macro-steps in ~73 ms, so each ~200 µs burst carried tens of
+//! microseconds of thread startup and barrier teardown. The
+//! [`uts_core::WorkerPool`] replaces that with an epoch-stamped wake of
+//! already-parked threads. This group makes the amortization claim a
+//! tracked number instead of prose:
+//!
+//! * `pooled` — one [`uts_core::WorkerPool::dispatch`] round trip per
+//!   iteration on a pool spawned once outside the timing loop: epoch
+//!   bump, condvar wake, all participants run a trivial job, completion
+//!   join;
+//! * `scoped_spawn` — the old shape: a fresh `std::thread::scope` per
+//!   iteration spawning the same number of workers for the same trivial
+//!   job;
+//! * `pooled_claim` / `scoped_claim` — the same pair running the engine's
+//!   actual burst-phase shape: an atomic-cursor claim loop over a vector
+//!   of jobs (empty payloads, so the measured cost is pure coordination).
+//!
+//! Worker counts 1 and 3 mirror pools backing 2- and 4-thread engine
+//! runs (the dispatching thread participates, so a pool of `n` serves
+//! `n + 1` engine threads). On a single-core host the absolute numbers
+//! compress — parked threads still wake serially — but the pooled/scoped
+//! ratio survives, which is what the comparison tracks.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use uts_core::WorkerPool;
+
+/// Jobs per claim-loop iteration: the engine publishes about four chunks
+/// per worker (`CHUNKS_PER_WORKER`), so this is the queue depth a real
+/// macro-step's burst phase puts through the cursor.
+const CLAIM_JOBS: usize = 16;
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_dispatch");
+    for workers in [1usize, 3] {
+        let pool = WorkerPool::new(workers);
+
+        g.bench_with_input(BenchmarkId::new("pooled", workers), &workers, |b, _| {
+            b.iter(|| {
+                let hits = AtomicUsize::new(0);
+                pool.dispatch(&|| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                black_box(hits.into_inner())
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("scoped_spawn", workers), &workers, |b, _| {
+            b.iter(|| {
+                let hits = AtomicUsize::new(0);
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(|| {
+                            hits.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+                black_box(hits.into_inner())
+            });
+        });
+
+        // The engine's burst-phase shape: claim jobs off an atomic cursor
+        // until the queue drains. Payloads are empty so the measurement
+        // is the coordination cost alone.
+        g.bench_with_input(BenchmarkId::new("pooled_claim", workers), &workers, |b, _| {
+            let jobs: Vec<Mutex<Option<usize>>> =
+                (0..CLAIM_JOBS).map(|i| Mutex::new(Some(i))).collect();
+            b.iter(|| {
+                for j in &jobs {
+                    *j.lock().unwrap() = Some(0);
+                }
+                let cursor = AtomicUsize::new(0);
+                let done = AtomicUsize::new(0);
+                pool.dispatch(&|| loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= jobs.len() {
+                        break;
+                    }
+                    let v = jobs[k].lock().unwrap().take().expect("claimed once");
+                    done.fetch_add(v + 1, Ordering::Relaxed);
+                });
+                black_box(done.into_inner())
+            });
+        });
+
+        g.bench_with_input(BenchmarkId::new("scoped_claim", workers), &workers, |b, _| {
+            let jobs: Vec<Mutex<Option<usize>>> =
+                (0..CLAIM_JOBS).map(|i| Mutex::new(Some(i))).collect();
+            b.iter(|| {
+                for j in &jobs {
+                    *j.lock().unwrap() = Some(0);
+                }
+                let cursor = AtomicUsize::new(0);
+                let done = AtomicUsize::new(0);
+                let claim = || loop {
+                    let k = cursor.fetch_add(1, Ordering::Relaxed);
+                    if k >= jobs.len() {
+                        break;
+                    }
+                    let v = jobs[k].lock().unwrap().take().expect("claimed once");
+                    done.fetch_add(v + 1, Ordering::Relaxed);
+                };
+                std::thread::scope(|s| {
+                    for _ in 0..workers {
+                        s.spawn(claim);
+                    }
+                    claim();
+                });
+                black_box(done.into_inner())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -16,14 +16,15 @@
 //! horizons let macro-stepping actually pay.
 //!
 //! The par engine is measured twice per workload: `par1` pins one worker
-//! (`with_threads(1)`, the inline parity leg) and `par` runs with
-//! auto-detected workers (`RAYON_NUM_THREADS` respected), so its numbers
-//! mean different things on different hosts: on a single-core machine it
-//! takes the inline path and can only show parity with the macro engine,
-//! while on a multicore host the chunked burst phase should beat it
-//! outright. `host_threads` — top-level for the machine, and per result
-//! row for the worker count that leg actually used — records which regime
-//! was measured.
+//! (`with_threads(1)`, the inline parity leg) and `par` pins the
+//! auto-detected count (`RAYON_NUM_THREADS` respected) into the config,
+//! so the worker count each leg records is by construction the one it ran
+//! with. The numbers mean different things on different hosts: on a
+//! single-core machine `par` takes the inline path and can only show
+//! parity with the macro engine, while on a multicore host the pooled
+//! burst phase should beat it outright. `host_threads` — top-level for
+//! the machine, and per result row for the worker count that leg actually
+//! used — records which regime was measured.
 //!
 //! `--quick` shrinks the tree and machine sizes for CI smoke runs.
 //! `--report PATH` additionally writes a ledger-enabled run-report
@@ -33,11 +34,13 @@
 //! `--check` exits non-zero if an engine regresses past its floor —
 //! fused >= 0.9x reference, macro >= 0.9x fused, and parallelism-aware
 //! par floors: par and par1 >= 0.85x macro always (parity within noise,
-//! any host),
-//! plus par >= 1.5x macro on the deep d10 tree when the host has >= 4
-//! cores (the scaling target; never asserted on hosts that cannot
-//! physically reach it). The CI guard against a hot-path refactor quietly
-//! giving the speedups back.
+//! any host), plus par >= 2.0x macro on the deep d10 tree when the host
+//! has >= 4 cores *and* the par leg ran with >= 4 workers (the scaling
+//! target the persistent worker pool buys; never asserted on hosts that
+//! cannot physically reach it). The CI guard against a hot-path refactor
+//! quietly giving the speedups back. So the multicore CI leg can enforce
+//! the scaling floor cheaply, `--quick` keeps the d10 workload on a
+//! reduced budget alongside the small smoke tree.
 //!
 //! A dedicated checkpoint-overhead pair (`ckpt-d7` in the JSON) runs the
 //! macro engine on a mid-size tree with and without a dense every-16th-
@@ -177,8 +180,15 @@ fn main() {
         }
     }
 
+    // Quick mode keeps the deep d10 workload (on a reduced budget): it is
+    // the only tree whose horizons are long enough to exercise the par
+    // scaling floor, and CI's multicore leg runs `--quick --check` — a
+    // quick mode without d10 would make that leg's >= 2x gate vacuous.
     let cases: &[TreeCase] = if quick {
-        &[TreeCase { label: "d5", depth_limit: 5, ps: &[256], budget_s: 0.2 }]
+        &[
+            TreeCase { label: "d5", depth_limit: 5, ps: &[256], budget_s: 0.2 },
+            TreeCase { label: "d10", depth_limit: 10, ps: &[8192], budget_s: 0.5 },
+        ]
     } else {
         &[
             TreeCase { label: "d7", depth_limit: 7, ps: &[1024, 8192], budget_s: 2.0 },
@@ -203,9 +213,14 @@ fn main() {
         );
         for &p in case.ps {
             let cfg = EngineConfig::new(p, Scheme::gp_dk(), CostModel::cm2());
+            // Pin the auto-detected count into the config so the worker
+            // count the leg *records* is by construction the one it *ran*
+            // with — the JSON row is the measurement's provenance, not a
+            // parallel guess at what `run_par` resolved internally.
+            let auto = auto_threads();
             type Runner = fn(&GeometricTree, &EngineConfig) -> Outcome;
             let legs: [(&'static str, EngineConfig, usize, Runner); 5] = [
-                ("par", cfg.clone(), auto_threads(), run_par),
+                ("par", cfg.clone().with_threads(auto), auto, run_par),
                 ("par1", cfg.clone().with_threads(1), 1, run_par),
                 ("macro", cfg.clone(), 1, run),
                 ("fused", cfg.clone(), 1, run_fused),
@@ -404,10 +419,18 @@ fn main() {
                 eprintln!("CHECK FAIL {tree} P={p}: par {pa:.0} < 0.85x macro {ma:.0}");
                 ok = false;
             }
-            if host_threads >= 4 && tree == "d10" && pa < 1.5 * ma {
+            // The scaling floor gates on the threads the par leg actually
+            // ran with (its recorded row), not just the machine's core
+            // count: an operator pinning RAYON_NUM_THREADS=1 on a big box
+            // is measuring parity, not scaling.
+            let par_threads = results
+                .iter()
+                .find(|m| m.tree == tree && m.p == p && m.engine == "par")
+                .map_or(1, |m| m.host_threads);
+            if host_threads >= 4 && par_threads >= 4 && tree == "d10" && pa < 2.0 * ma {
                 eprintln!(
-                    "CHECK FAIL {tree} P={p}: par {pa:.0} < 1.5x macro {ma:.0} \
-                     with {host_threads} host threads"
+                    "CHECK FAIL {tree} P={p}: par {pa:.0} < 2.0x macro {ma:.0} \
+                     with {par_threads} workers on {host_threads} host threads"
                 );
                 ok = false;
             }
@@ -429,7 +452,7 @@ fn main() {
         eprintln!(
             "check passed: fused >= 0.9x reference, macro >= 0.9x fused, par/par1 >= 0.85x macro, \
              ckpt-on >= 0.8x ckpt-off{} ({host_threads} host threads)",
-            if host_threads >= 4 { ", par >= 1.5x macro on d10" } else { "" }
+            if host_threads >= 4 { ", par >= 2.0x macro on d10" } else { "" }
         );
     }
 }

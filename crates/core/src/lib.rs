@@ -46,6 +46,7 @@ pub mod macrostep;
 pub mod matcher;
 pub mod nn;
 pub mod parstep;
+pub mod pool;
 pub mod reference;
 pub mod report_json;
 pub mod scheme;
@@ -58,6 +59,7 @@ pub use engine::{run_fused, run_with, EngineConfig, EngineKind, MacroStep, Outco
 pub use macrostep::run;
 pub use matcher::MatchState;
 pub use parstep::run_par;
+pub use pool::WorkerPool;
 pub use reference::run_reference;
 pub use report_json::run_report_json;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};

@@ -240,6 +240,30 @@ pub(crate) fn compute_horizon(
     size_hist: &mut Vec<u32>,
     count_ge: &mut Vec<u32>,
 ) -> u64 {
+    compute_horizon_pooled(cfg, machine, lens, active_len, in_init, size_hist, count_ge, None)
+}
+
+/// [`compute_horizon`] with an optional worker pool for the census: when a
+/// pool is offered and the ensemble is large enough to pay for a dispatch
+/// ([`crate::census::POOLED_CENSUS_MIN_LENS`]), the stack-size histogram
+/// is built by pool-parallel slice reductions combined in fixed slice
+/// order instead of one serial sweep — so the horizon computation stops
+/// being a serial tail between the parallel engine's bursts. The result is
+/// identical either way (exact integer reductions, fixed combine order;
+/// see `census::pooled_census`), so the schedule cannot observe the
+/// choice. `census_slices` is the pooled path's per-slice scratch,
+/// persistent across macro-steps.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn compute_horizon_pooled(
+    cfg: &EngineConfig,
+    machine: &SimdMachine,
+    lens: &[u32],
+    active_len: usize,
+    in_init: bool,
+    size_hist: &mut Vec<u32>,
+    count_ge: &mut Vec<u32>,
+    census_pool: Option<(&crate::pool::WorkerPool, &mut Vec<crate::census::SliceCensus>)>,
+) -> u64 {
     let mut h = if in_init
         || cfg.stop_on_goal
         || !horizon_exceeds_one(
@@ -252,7 +276,14 @@ pub(crate) fn compute_horizon(
         ) {
         1
     } else {
-        build_hist(lens, size_hist);
+        match census_pool {
+            Some((pool, census_slices))
+                if lens.len() >= crate::census::POOLED_CENSUS_MIN_LENS && pool.workers() > 0 =>
+            {
+                crate::census::pooled_census(pool, lens, census_slices, size_hist);
+            }
+            _ => build_hist(lens, size_hist),
+        }
         build_count_ge(size_hist, count_ge);
         let hctx = HorizonCtx {
             p: cfg.p,

@@ -38,32 +38,56 @@
 //! reassociation exists, so the schedule cannot depend on thread count or
 //! interleaving even in principle.
 //!
-//! Workers are spawned per macro-step with [`std::thread::scope`] (the
-//! vendored `rayon` facade is a sequential shim, so scoped threads are the
-//! real parallelism primitive here); scratch buffers persist across steps
-//! so a warmed-up step allocates little, and small batches skip the
-//! fan-out entirely — `run_par` at one worker is the macro engine plus a
-//! branch.
+//! Workers come from a **persistent pool** ([`crate::pool::WorkerPool`]):
+//! `threads - 1` threads spawned once per run, parked on a condvar between
+//! bursts, and woken per macro-step through an epoch-stamped dispatch cell
+//! (the vendored `rayon` facade is a sequential shim, so the pool is the
+//! real parallelism primitive here). The pool replaced the old
+//! per-macro-step [`std::thread::scope`] fan-out, whose spawn/join cycle
+//! ate bursts worth only a couple hundred microseconds — see the
+//! `pool_dispatch` criterion group for the measured gap. Scratch buffers
+//! persist across steps so a warmed-up step allocates little; with
+//! dispatch cheap, the census feeding the next horizon runs on the pool
+//! too ([`crate::census::pooled_census`]); and small batches still skip
+//! the fan-out entirely — `run_par` at one worker is the macro engine plus
+//! a branch. The pool joins deterministically when the run returns, on
+//! goal-stop early exit, and on checkpoint-kill alike (its `Drop` parks
+//! then joins every worker; `tests/pool_lifecycle.rs` counts OS threads).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use uts_tree::{Burst, PeSlab, StackArena, TreeProblem};
 
+use crate::census::SliceCensus;
 use crate::engine::{
     balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, MacroStep,
     Outcome, ResumeState,
 };
-use crate::macrostep::compute_horizon;
+use crate::macrostep::compute_horizon_pooled;
+use crate::pool::WorkerPool;
 
-/// Minimum `started_PEs × horizon` product worth paying a thread spawn
-/// for when the worker count was auto-detected. Below this the batch runs
-/// inline on the main thread; the schedule is identical either way, so the
-/// threshold is purely a latency knob. An **explicit**
-/// [`EngineConfig::threads`] bypasses the heuristic — the caller asked for
-/// workers, and the differential suites rely on that to force the sharded
-/// path on trees far too small to cross this bar.
-const FAN_OUT_MIN_WORK: u64 = 4096;
+/// Default for [`EngineConfig::fan_out_min_work`]: the minimum
+/// `started_PEs × horizon` product worth waking the pool for when the
+/// worker count was auto-detected. Below this the batch runs inline on
+/// the main thread; the schedule is identical either way, so the
+/// threshold is purely a latency knob. [`EngineConfig::threads`] is
+/// likewise *only* a worker count: setting it does not force sharding.
+/// Suites that need the sharded path on trees far too small to cross
+/// this bar force it with [`EngineConfig::with_fan_out_min_work`]`(0)`.
+///
+/// The constant is bench-derived for the *pooled* cost model: a pool
+/// dispatch (epoch bump + condvar wake + completion join) measures in the
+/// low single-digit microseconds on the `pool_dispatch` criterion group —
+/// versus tens to hundreds for the scoped spawn/join it replaced, which is
+/// why the old threshold sat at 4096. At ~15–60 ns per node expansion,
+/// 256 PE-cycles of burst work is the break-even neighbourhood; batches
+/// smaller than that are dominated by the wake even on a warm pool. The
+/// old 4096 bar silently serialized the small-but-frequent bursts of
+/// shallow trees (the d7 benchmark workloads fire the trigger every few
+/// cycles, so `started × H` rarely cleared it) — exactly the steps a
+/// persistent pool makes worth fanning out.
+pub const DEFAULT_FAN_OUT_MIN_WORK: u64 = 256;
 
 /// Chunks published per worker. More than one chunk per worker lets the
 /// claim cursor rebalance skew (one PE's burst can dwarf another's on an
@@ -156,6 +180,12 @@ pub(crate) fn run_par_from<P: TreeProblem>(
 ) -> Outcome {
     assert!(cfg.p > 0, "need at least one processor");
     let threads = resolve_threads(cfg);
+    // The persistent worker pool: spawned once here, woken per macro-step,
+    // parked in between, joined when this function returns — on normal
+    // exhaustion, goal-stop, truncation and checkpoint-kill alike (drop
+    // order runs the pool's join before the Outcome leaves). One worker
+    // needs no pool at all: every step runs inline.
+    let pool = (threads > 1).then(|| WorkerPool::new(threads - 1));
     let state = resume.unwrap_or_else(|| ResumeState::fresh(problem, cfg));
     let mut hook = crate::ckpt::Hook::new(cfg, state.step);
     let mut machine = state.machine;
@@ -184,14 +214,18 @@ pub(crate) fn run_par_from<P: TreeProblem>(
     let mut count_ge: Vec<u32> = Vec::new();
 
     let mut lb = LbBuffers::default();
-    // Per-chunk scratch and the rebuilt active list, both persistent.
+    // Per-chunk scratch, the pooled census's per-slice scratch, and the
+    // rebuilt active list, all persistent.
     let mut shards: Vec<ShardScratch> = Vec::new();
+    let mut census_slices: Vec<SliceCensus> = Vec::new();
     let mut next_active: Vec<usize> = Vec::new();
     let mut death_cycles: Vec<u64> = Vec::new();
 
     loop {
-        // ---- event horizon (main thread, identical to the macro engine) ----
-        let h = compute_horizon(
+        // ---- event horizon (identical result to the macro engine; the
+        // ---- census histogram runs on the pool when the ensemble is
+        // ---- large enough to pay for a dispatch) ----
+        let h = compute_horizon_pooled(
             cfg,
             &machine,
             arena.lens(),
@@ -199,15 +233,14 @@ pub(crate) fn run_par_from<P: TreeProblem>(
             in_init,
             &mut size_hist,
             &mut count_ge,
+            pool.as_ref().map(|p| (p, &mut census_slices)),
         );
 
         let started = active.len();
         let start_cycle = machine.metrics().n_expand;
 
-        // ---- burst phase: fan the chunks out, or run inline when small ----
-        let fan_out = threads > 1
-            && started >= 2
-            && (cfg.threads.is_some() || started as u64 * h >= FAN_OUT_MIN_WORK);
+        // ---- burst phase: wake the pool, or run inline when small ----
+        let fan_out = threads > 1 && started >= 2 && started as u64 * h >= cfg.fan_out_min_work;
         let mut busy_count;
         let ran;
         if !fan_out && h == 1 {
@@ -294,12 +327,16 @@ pub(crate) fn run_par_from<P: TreeProblem>(
                 lens_rest = lens_next;
             }
 
-            // ---- claim loop: workers pull chunk jobs off an atomic cursor ----
+            // ---- claim loop: participants pull chunk jobs off an atomic
+            // ---- cursor. One pool dispatch wakes the parked workers for
+            // ---- this epoch; the main thread claims too instead of
+            // ---- idling, and the dispatch returns once every participant
+            // ---- ran out of jobs (so all borrows below are settled).
             let cursor = AtomicUsize::new(0);
-            std::thread::scope(|s| {
+            {
                 let jobs = &jobs;
                 let cursor = &cursor;
-                let work = move || loop {
+                pool.as_ref().expect("fan_out implies threads > 1").dispatch(&move || loop {
                     let k = cursor.fetch_add(1, Ordering::Relaxed);
                     if k >= jobs.len() {
                         break;
@@ -307,13 +344,8 @@ pub(crate) fn run_par_from<P: TreeProblem>(
                     let (chunk, base, slabs_w, lens_w, scr) =
                         jobs[k].lock().expect("job lock").take().expect("job claimed once");
                     run_chunk(problem, h, chunk, base, slabs_w, lens_w, scr);
-                };
-                for _ in 0..workers - 1 {
-                    s.spawn(work);
-                }
-                // The main thread claims too instead of idling.
-                work();
-            });
+                });
+            }
 
             // ---- merge chunks in chunk order == PE order (main thread) ----
             next_active.clear();
@@ -370,6 +402,15 @@ pub(crate) fn run_par_from<P: TreeProblem>(
         }
 
         // ---- macro-step boundary (checkpoint + fault injection) ----
+        // The pool is quiescent here by construction: every dispatch above
+        // joined before this point, so a snapshot — and an injected kill —
+        // always sees complete, settled state (no burst in flight, every
+        // worker parked). Asserted because the kill→resume differential
+        // depends on it.
+        debug_assert!(
+            pool.as_ref().is_none_or(WorkerPool::is_quiescent),
+            "macro-step boundary reached with the pool mid-dispatch"
+        );
         if let Some(hk) = hook.as_mut() {
             let dies = hk.boundary(fired, |step, fp| {
                 crate::ckpt::capture(
@@ -414,12 +455,29 @@ mod tests {
 
     #[test]
     fn par_matches_macro_at_several_thread_counts() {
+        // min_work 0 forces the sharded path even on this small tree.
         let tree = GeometricTree { seed: 21, b_max: 8, depth_limit: 6 };
-        let base = EngineConfig::new(64, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+        let base = EngineConfig::new(64, Scheme::gp_dk(), CostModel::cm2())
+            .with_trace()
+            .with_fan_out_min_work(0);
         let serial = run(&tree, &base);
         for threads in [1usize, 2, 8] {
             let par = run_par(&tree, &base.clone().with_threads(threads));
             assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn fan_out_threshold_is_a_latency_knob_not_a_schedule_input() {
+        // Any threshold — always-fan-out (0), the default, and
+        // effectively-never (u64::MAX) — must yield the identical Outcome;
+        // threads are auto-detected here so the heuristic actually runs.
+        let tree = GeometricTree { seed: 33, b_max: 8, depth_limit: 6 };
+        let base = EngineConfig::new(128, Scheme::gp_dk(), CostModel::cm2()).with_trace();
+        let serial = run(&tree, &base);
+        for min_work in [0u64, DEFAULT_FAN_OUT_MIN_WORK, u64::MAX] {
+            let par = run_par(&tree, &base.clone().with_fan_out_min_work(min_work));
+            assert_eq!(par, serial, "fan_out_min_work={min_work}");
         }
     }
 

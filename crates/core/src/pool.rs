@@ -1,0 +1,317 @@
+//! Persistent host worker pool: spawn once, park between bursts, wake per
+//! macro-step through an epoch-stamped dispatch cell.
+//!
+//! The parallel engine ([`crate::parstep::run_par`]) used to spawn a fresh
+//! [`std::thread::scope`] for *every* macro-step's burst phase. On the
+//! deep benchmark tree that is ~350 spawn/join cycles per run, each of
+//! which pays thread creation, a kernel wake, and scope teardown against a
+//! burst worth only a couple hundred microseconds — which is why the
+//! committed `par_vs_macro` numbers hovered at parity instead of scaling.
+//! Horie & Fukunaga's block-parallel IDA\* gets its GPU wins by keeping a
+//! persistent grid of workers fed across iterations; the same shape
+//! applies to host threads. A [`WorkerPool`] is that shape: `n` workers
+//! spawned once per run, parked on a condvar between bursts, woken by an
+//! epoch bump, and joined exactly once when the pool drops.
+//!
+//! **Dispatch protocol.** The pool owns one mutex-guarded cell
+//! ([`DispatchCell`]) holding an epoch counter, a type-erased job pointer,
+//! and an outstanding-worker count:
+//!
+//! 1. [`WorkerPool::dispatch`] publishes the job, bumps the epoch, sets
+//!    `outstanding = workers`, and notifies the wake condvar.
+//! 2. Every parked worker observes the epoch change, copies the job
+//!    pointer, drops the lock, and runs the job. The dispatching thread
+//!    runs the same job itself instead of idling — a pool of `n - 1`
+//!    workers serves `n` participants.
+//! 3. A worker finishing the job decrements `outstanding` (a drop guard,
+//!    so a panicking job still decrements) and re-parks; the last one
+//!    notifies the done condvar.
+//! 4. `dispatch` returns only after `outstanding == 0` *and* its own job
+//!    call finished — at which point every borrow the job carried is dead,
+//!    which is what makes the lifetime erasure below sound.
+//!
+//! The job itself is a claim loop: callers publish per-chunk work in a
+//! fixed order and participants claim chunks off an atomic cursor, exactly
+//! as the scoped-spawn design did ([`crate::parstep`] module docs carry
+//! the determinism argument). The pool changes *who runs* a chunk and how
+//! cheaply the crew assembles — never what any chunk does, so schedules
+//! stay bit-identical at any worker count.
+//!
+//! **Quiescence.** Between dispatches every worker is parked in
+//! `Condvar::wait`; [`WorkerPool::is_quiescent`] reports it. The engines
+//! only reach a macro-step boundary (trigger checkpoint, balancing phase,
+//! snapshot capture, fault injection) after `dispatch` returned, so a
+//! checkpoint always serializes complete, settled state — the kill→resume
+//! differential relies on that, and the par engine debug-asserts it at
+//! every boundary.
+//!
+//! A panicking job neither deadlocks nor detaches workers: the panic flag
+//! is re-raised on the dispatching thread after the join, and `Drop` still
+//! parks-then-joins every worker (shutdown on `Outcome` return, goal-stop
+//! early exit, and checkpoint-kill all ride the same drop path —
+//! `tests/pool_lifecycle.rs` counts OS threads to prove nothing leaks or
+//! wedges).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Type-erased borrow of the dispatched job. The pointee lives on the
+/// dispatching thread's stack; the completion join in [`WorkerPool::dispatch`]
+/// guarantees no worker touches it after `dispatch` returns, which is the
+/// entire safety argument for the `Send` below.
+struct JobPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointer is only dereferenced by pool workers between the
+// epoch bump and the completion notification, a window during which the
+// dispatching thread is blocked inside `dispatch` keeping the pointee
+// alive. `dyn Fn + Sync` makes concurrent calls themselves safe.
+unsafe impl Send for JobPtr {}
+
+/// The epoch-stamped dispatch cell (under the pool's one mutex).
+struct DispatchCell {
+    /// Bumped once per dispatch; workers park until it moves.
+    epoch: u64,
+    /// The published job for the current epoch (`None` while idle).
+    job: Option<JobPtr>,
+    /// Workers still running the current epoch's job.
+    outstanding: usize,
+    /// A job call panicked this epoch (re-raised by `dispatch`).
+    panicked: bool,
+    /// Workers must exit instead of parking (set once, by `Drop`).
+    shutdown: bool,
+}
+
+struct Shared {
+    cell: Mutex<DispatchCell>,
+    /// Workers park here between epochs.
+    wake: Condvar,
+    /// The dispatcher parks here until `outstanding == 0`.
+    done: Condvar,
+}
+
+/// A persistent crew of parked worker threads, woken per dispatch.
+///
+/// `WorkerPool::new(n)` spawns `n` OS threads; [`WorkerPool::dispatch`]
+/// runs one job on all of them *plus the calling thread* and returns when
+/// every participant finished. Dropping the pool joins every worker
+/// deterministically. Public because the dispatch primitive is exactly
+/// what higher layers (the bench harness, a future job server) need to
+/// measure or reuse; the engines construct one pool per `run_par` call.
+pub struct WorkerPool {
+    shared: &'static Shared,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` parked worker threads. `workers == 0` is a valid
+    /// degenerate pool: `dispatch` then runs the job inline only.
+    pub fn new(workers: usize) -> Self {
+        // The shared cell must outlive the worker threads (which are
+        // `'static`); it is reclaimed in `Drop` after every worker joined.
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            cell: Mutex::new(DispatchCell {
+                epoch: 0,
+                job: None,
+                outstanding: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+            done: Condvar::new(),
+        }));
+        let handles = (0..workers)
+            .map(|i| {
+                std::thread::Builder::new()
+                    .name(format!("uts-pool-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Self { shared, handles }
+    }
+
+    /// Number of pool worker threads (the calling thread adds one more
+    /// participant to every dispatch).
+    pub fn workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Run `job` on every pool worker and on the calling thread, returning
+    /// after all of them finished it. Jobs are expected to be claim loops
+    /// over caller-published work items, so every participant calls the
+    /// same closure and idle participants fall straight through. A panic
+    /// inside any participant's call is re-raised here after the join.
+    pub fn dispatch(&self, job: &(dyn Fn() + Sync)) {
+        {
+            let mut cell = self.shared.cell.lock().expect("pool mutex");
+            debug_assert_eq!(cell.outstanding, 0, "dispatch while a dispatch is in flight");
+            // SAFETY: lifetime erasure only — the pointer is dead (cleared
+            // below, after the completion join) before `job`'s borrow ends.
+            let erased: *const (dyn Fn() + Sync + 'static) = unsafe {
+                std::mem::transmute::<*const (dyn Fn() + Sync), *const (dyn Fn() + Sync + 'static)>(
+                    job,
+                )
+            };
+            cell.job = Some(JobPtr(erased));
+            cell.epoch += 1;
+            cell.outstanding = self.handles.len();
+            cell.panicked = false;
+            self.shared.wake.notify_all();
+        }
+        // The dispatching thread is a participant, not a supervisor.
+        let mine = catch_unwind(AssertUnwindSafe(job));
+        let panicked = {
+            let mut cell = self.shared.cell.lock().expect("pool mutex");
+            while cell.outstanding > 0 {
+                cell = self.shared.done.wait(cell).expect("pool wait");
+            }
+            // Every borrow the erased pointer carried is dead now; drop it
+            // before returning so the cell never holds a dangling job.
+            cell.job = None;
+            cell.panicked
+        };
+        if let Err(payload) = mine {
+            resume_unwind(payload);
+        }
+        if panicked {
+            panic!("a pool worker's job panicked");
+        }
+    }
+
+    /// True when no dispatch is in flight — every worker is parked and the
+    /// cell holds no job. The engines assert this at macro-step boundaries:
+    /// a snapshot must serialize settled state only.
+    pub fn is_quiescent(&self) -> bool {
+        let cell = self.shared.cell.lock().expect("pool mutex");
+        cell.outstanding == 0 && cell.job.is_none()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut cell = self.shared.cell.lock().expect("pool mutex");
+            cell.shutdown = true;
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            // A worker panic (outside a dispatched job) surfaces here; jobs
+            // themselves are caught and re-raised by `dispatch`.
+            h.join().expect("pool worker exited cleanly");
+        }
+        // All workers are gone; reclaim the leaked shared cell.
+        // SAFETY: `shared` came from `Box::leak` in `new`, every thread
+        // holding a reference has been joined, and `drop` runs once.
+        unsafe {
+            drop(Box::from_raw(self.shared as *const Shared as *mut Shared));
+        }
+    }
+}
+
+fn worker_loop(shared: &'static Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut cell = shared.cell.lock().expect("pool mutex");
+            while !cell.shutdown && cell.epoch == seen_epoch {
+                cell = shared.wake.wait(cell).expect("pool wait");
+            }
+            if cell.shutdown {
+                return;
+            }
+            seen_epoch = cell.epoch;
+            cell.job.as_ref().expect("epoch bumped with a job published").0
+        };
+        // SAFETY: see `JobPtr` — the dispatcher keeps the pointee alive
+        // until `outstanding` returns to zero, which happens strictly
+        // after this call returns.
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (*job)() }));
+        let mut cell = shared.cell.lock().expect("pool mutex");
+        if result.is_err() {
+            cell.panicked = true;
+        }
+        cell.outstanding -= 1;
+        if cell.outstanding == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn dispatch_runs_the_job_on_every_participant() {
+        let pool = WorkerPool::new(3);
+        let calls = AtomicUsize::new(0);
+        pool.dispatch(&|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        // 3 workers + the dispatching thread.
+        assert_eq!(calls.load(Ordering::Relaxed), 4);
+        assert!(pool.is_quiescent());
+    }
+
+    #[test]
+    fn epochs_are_reusable_back_to_back() {
+        let pool = WorkerPool::new(2);
+        let calls = AtomicUsize::new(0);
+        for _ in 0..100 {
+            pool.dispatch(&|| {
+                calls.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(calls.load(Ordering::Relaxed), 300);
+    }
+
+    #[test]
+    fn a_zero_worker_pool_runs_inline() {
+        let pool = WorkerPool::new(0);
+        let calls = AtomicUsize::new(0);
+        pool.dispatch(&|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn claim_loops_cover_every_item_exactly_once() {
+        let pool = WorkerPool::new(4);
+        let n = 1000usize;
+        let hits: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        let cursor = AtomicUsize::new(0);
+        pool.dispatch(&|| loop {
+            let k = cursor.fetch_add(1, Ordering::Relaxed);
+            if k >= n {
+                break;
+            }
+            hits[k].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn drop_joins_workers_without_a_dispatch() {
+        let pool = WorkerPool::new(4);
+        assert!(pool.is_quiescent());
+        drop(pool); // must not hang or leak
+    }
+
+    #[test]
+    fn a_panicking_job_is_reraised_and_the_pool_survives() {
+        let pool = WorkerPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.dispatch(&|| panic!("boom"));
+        }));
+        assert!(err.is_err());
+        // The pool is still usable and still joins cleanly.
+        let calls = AtomicUsize::new(0);
+        pool.dispatch(&|| {
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+    }
+}

@@ -155,7 +155,8 @@ fn par_resume_is_thread_count_invariant() {
     let tree = GeometricTree { seed: 23, b_max: 8, depth_limit: 6 };
     let base = EngineConfig::new(64, Scheme::fegs(), CostModel::cm2())
         .with_ledger()
-        .with_engine(EngineKind::Par);
+        .with_engine(EngineKind::Par)
+        .with_fan_out_min_work(0); // force sharding on this small tree
     let straight = run_with(&tree, &base);
     let (_, bytes) = kill_run(&tree, &base.clone().with_threads(8), 3);
     let bytes = bytes.expect("deep enough run to reach boundary 3");

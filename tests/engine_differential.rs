@@ -50,7 +50,9 @@ fn assert_all_engines_identical<P: simd_tree_search::tree::TreeProblem>(
         assert_eq!(got, reference, "{} diverged from reference", kind.name());
     }
     for threads in [3usize, 8] {
-        let got = run_par(tree, &cfg.clone().with_threads(threads));
+        // min_work 0 forces the sharded path on trees too small to cross
+        // the fan-out bar naturally.
+        let got = run_par(tree, &cfg.clone().with_threads(threads).with_fan_out_min_work(0));
         assert_eq!(got, reference, "par({threads} threads) diverged from reference");
     }
 }
@@ -97,13 +99,21 @@ proptest! {
 
     /// Thread-count determinism: the par engine's `Outcome` (metrics
     /// included) is identical under 1, 2 and 8 workers — and identical to
-    /// the serial macro engine, macro-step log included.
+    /// the serial macro engine, macro-step log included. The fan-out
+    /// threshold is fuzzed alongside the worker count: forced sharding
+    /// (0), the tuned default, and never-shard (`u64::MAX`, pool idles)
+    /// are all latency knobs, never schedule inputs.
     #[test]
     fn par_outcome_is_thread_count_invariant(
         seed in 0u64..3000,
         scheme in arb_scheme(),
         split in arb_split(),
         p_log in 0u32..10,
+        min_work in prop_oneof![
+            Just(0u64),
+            Just(simd_tree_search::core::parstep::DEFAULT_FAN_OUT_MIN_WORK),
+            Just(u64::MAX),
+        ],
     ) {
         let tree = GeometricTree { seed, b_max: 8, depth_limit: 5 };
         let base = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
@@ -113,8 +123,11 @@ proptest! {
             .with_ledger();
         let serial = run(&tree, &base);
         for threads in [1usize, 2, 8] {
-            let par = run_par(&tree, &base.clone().with_threads(threads));
-            assert_eq!(par, serial, "{} threads={threads}", scheme.name());
+            let par = run_par(
+                &tree,
+                &base.clone().with_threads(threads).with_fan_out_min_work(min_work),
+            );
+            assert_eq!(par, serial, "{} threads={threads} min_work={min_work}", scheme.name());
         }
     }
 }
@@ -143,7 +156,8 @@ fn par_handles_the_init_phase_at_large_p() {
     let cfg = EngineConfig::new(1024, Scheme::gp_dk(), CostModel::cm2()).with_trace().with_ledger();
     let reference = run_reference(&tree, &cfg);
     for threads in [1usize, 2, 8] {
-        assert_eq!(run_par(&tree, &cfg.clone().with_threads(threads)), reference);
+        let forced = cfg.clone().with_threads(threads).with_fan_out_min_work(0);
+        assert_eq!(run_par(&tree, &forced), reference);
     }
 }
 

@@ -51,13 +51,15 @@ fn assert_equivalent(label: &str, got: &Outcome, reference: &Outcome) {
 
 /// Run all four engines on the same configuration and require bitwise
 /// agreement of macro, fused and par against the reference oracle. The
-/// par engine runs with two forced workers so the sharded burst path is
-/// exercised even on trees far too small for the fan-out heuristic.
+/// par engine runs with two workers and a zeroed fan-out threshold so the
+/// sharded burst path is exercised even on trees far too small for the
+/// fan-out heuristic.
 fn assert_all_engines_agree<P: simd_tree_search::tree::TreeProblem>(tree: &P, cfg: &EngineConfig) {
     let reference = run_reference(tree, cfg);
     assert_equivalent("macro", &run(tree, cfg), &reference);
     assert_equivalent("fused", &run_fused(tree, cfg), &reference);
-    assert_equivalent("par", &run_par(tree, &cfg.clone().with_threads(2)), &reference);
+    let forced = cfg.clone().with_threads(2).with_fan_out_min_work(0);
+    assert_equivalent("par", &run_par(tree, &forced), &reference);
 }
 
 proptest! {
@@ -123,7 +125,7 @@ fn table1_schemes_schedule_identically_at_p256() {
         for (engine, out) in [
             ("macro", run(&tree, &cfg)),
             ("fused", run_fused(&tree, &cfg)),
-            ("par", run_par(&tree, &cfg.clone().with_threads(2))),
+            ("par", run_par(&tree, &cfg.clone().with_threads(2).with_fan_out_min_work(0))),
         ] {
             assert_eq!(out.report.n_expand, reference.report.n_expand, "{name}/{engine}");
             assert_eq!(out.report.n_lb, reference.report.n_lb, "{name}/{engine}");
