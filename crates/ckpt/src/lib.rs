@@ -28,12 +28,17 @@
 //! ledger), and everything captured is a pure function of the lockstep
 //! schedule. A snapshot taken by one engine resumes under any other.
 
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
 use uts_machine::{
     ActiveTrace, CostModel, LbCostBreakdown, LbPhaseRecord, Metrics, PhaseEvent, PhaseStats,
     SimTime, SimdMachine, TriggerFiring, TriggerKind,
 };
 use uts_tree::codec::{put_bool, put_u32, put_u64, put_usize};
 use uts_tree::{CkptNode, CodecError, Reader, SearchStack, StackArena};
+
+pub mod spill;
 
 /// Leading bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"UTSCKPT\0";
@@ -211,6 +216,46 @@ impl FaultPlan {
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
         Self { kill_at_step: 1 + z % max_step.max(1) }
+    }
+}
+
+/// Cooperative preemption flag, checked by every engine at each
+/// macro-step boundary — the third leg of the harness layer next to
+/// [`CheckpointPolicy`] (when to snapshot) and [`FaultPlan`] (when to
+/// die). Raising the signal asks the run to *park*: at its next boundary
+/// the engine writes one forced snapshot of the boundary (whatever the
+/// policy says) and returns its partial `Outcome` with the killed flag
+/// set, exactly like an injected fault. Because parking happens only at
+/// macro-step boundaries and the snapshot carries the boundary count, a
+/// later resume continues the lockstep schedule bit-identically — which
+/// is what lets a job server preempt long runs without perturbing their
+/// results.
+///
+/// Clones share the flag (the scheduler keeps one end, the running
+/// engine's checkpoint config holds the other). Raising is sticky until
+/// [`PreemptSignal::clear`].
+#[derive(Debug, Clone, Default)]
+pub struct PreemptSignal(Arc<AtomicBool>);
+
+impl PreemptSignal {
+    /// A fresh, un-raised signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ask the run to park at its next macro-step boundary.
+    pub fn raise(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Whether the signal has been raised (engine side, boundary check).
+    pub fn is_raised(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Reset the flag (e.g. before resuming the parked run).
+    pub fn clear(&self) {
+        self.0.store(false, Ordering::Release);
     }
 }
 

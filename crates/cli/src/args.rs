@@ -46,53 +46,20 @@ impl Flags {
     }
 }
 
-/// Parse a scheme name (`gp-s:0.8`, `ngp-dk`, `fess`, …).
+/// Parse a scheme name (`gp-s:0.8`, `ngp-dk`, `fess`, …). The grammar
+/// lives on [`Scheme::parse`] so the job server shares it.
 pub fn parse_scheme(s: &str) -> Result<Scheme, String> {
-    if let Some(x) = s.strip_prefix("gp-s:") {
-        return static_threshold(x).map(Scheme::gp_static);
-    }
-    if let Some(x) = s.strip_prefix("ngp-s:") {
-        return static_threshold(x).map(Scheme::ngp_static);
-    }
-    match s {
-        "gp-dk" => Ok(Scheme::gp_dk()),
-        "ngp-dk" => Ok(Scheme::ngp_dk()),
-        "gp-dp" => Ok(Scheme::gp_dp()),
-        "ngp-dp" => Ok(Scheme::ngp_dp()),
-        "fess" => Ok(Scheme::fess()),
-        "fegs" => Ok(Scheme::fegs()),
-        other => Err(format!("unknown scheme `{other}`")),
-    }
-}
-
-fn static_threshold(x: &str) -> Result<f64, String> {
-    let x: f64 = x.parse().map_err(|_| format!("bad static threshold `{x}`"))?;
-    if (0.0..=1.0).contains(&x) {
-        Ok(x)
-    } else {
-        Err(format!("static threshold {x} must lie in [0, 1]"))
-    }
+    Scheme::parse(s)
 }
 
 /// Parse an engine name.
 pub fn parse_engine(s: &str) -> Result<EngineKind, String> {
-    match s {
-        "reference" | "ref" => Ok(EngineKind::Reference),
-        "fused" => Ok(EngineKind::Fused),
-        "macro" => Ok(EngineKind::Macro),
-        "par" => Ok(EngineKind::Par),
-        other => Err(format!("unknown engine `{other}` (reference|fused|macro|par)")),
-    }
+    EngineKind::parse(s)
 }
 
 /// Parse a cost-model name.
 pub fn parse_cost(s: &str) -> Result<CostModel, String> {
-    match s {
-        "cm2" => Ok(CostModel::cm2()),
-        "hypercube" => Ok(CostModel::hypercube()),
-        "mesh" => Ok(CostModel::mesh()),
-        other => Err(format!("unknown cost model `{other}` (cm2|hypercube|mesh)")),
-    }
+    CostModel::parse(s)
 }
 
 /// Which 15-puzzle workload to search.

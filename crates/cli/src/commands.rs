@@ -210,6 +210,29 @@ pub fn sat(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `sts serve`: the long-running job server. Blocks until killed; jobs
+/// and results are durable in `--spill-dir`, so a restarted server picks
+/// up where the last one stopped.
+pub fn serve(flags: &Flags) -> Result<(), String> {
+    let cfg = uts_serve::ServeConfig {
+        addr: flags.get("addr").unwrap_or("127.0.0.1:7117").to_string(),
+        slots: flags.get_parsed("slots", 2usize)?.max(1),
+        spill_dir: flags.get("spill-dir").unwrap_or("sts-spool").into(),
+        quantum_ms: flags.get_parsed("quantum-ms", 50u64)?,
+        poll_ms: flags.get_parsed("poll-ms", 5u64)?,
+    };
+    let spill = cfg.spill_dir.clone();
+    let server = uts_serve::JobServer::start(cfg).map_err(|e| format!("serve: {e}"))?;
+    println!("sts serve: listening on http://{}", server.addr());
+    println!("sts serve: spilling to {}", spill.display());
+    println!("  POST /submit  GET /status/<id>  GET /result/<id>  POST /cancel/<id>  GET /jobs");
+    // Serve until the process is killed; jobs in flight at that point
+    // recover from the spill directory on the next start.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 /// `sts xo`: the optimal static trigger of eq. 18.
 pub fn xo(flags: &Flags) -> Result<(), String> {
     let w: u64 = flags

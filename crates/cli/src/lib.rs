@@ -24,6 +24,8 @@ USAGE:
   sts queens  [--n N] [--p P]                            N-queens on all engines
   sts sat     [--vars V] [--clauses C] [--seed S]        DPLL model counting
   sts xo      --w W [--p P] [--ratio R]                  optimal static trigger
+  sts serve   [--addr A] [--slots N] [--spill-dir DIR] [--quantum-ms Q]
+                                                         HTTP/JSON job server
 
 SCHEMES: gp-s:<x>  ngp-s:<x>  gp-dk  ngp-dk  gp-dp  ngp-dp  fess  fegs
 COSTS:   cm2  hypercube  mesh
@@ -35,6 +37,13 @@ snapshot `ckpt-<step>.bin` into DIR every Nth macro-step boundary;
 --snapshot DIR/ckpt-....bin` continues the run — pass the *same* workload
 and config flags: a snapshot is only valid against the configuration that
 produced it (enforced by a config fingerprint in the header).
+
+Serving: `sts serve` runs a job server. POST a spec like
+`{\"workload\":{\"kind\":\"synth\",\"seed\":1},\"p\":256,\"scheme\":\"gp-dk\"}` to
+/submit; when more jobs wait than slots exist, running jobs are parked at
+their next macro-step boundary (snapshot to --spill-dir) and resumed
+later — results are bit-identical to uninterrupted runs, and the whole
+job table survives a server restart over the same spill directory.
 ";
 
 #[cfg(test)]

@@ -16,6 +16,7 @@ fn main() {
         "queens" => commands::queens(&flags),
         "sat" => commands::sat(&flags),
         "xo" => commands::xo(&flags),
+        "serve" => commands::serve(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())

@@ -24,7 +24,7 @@ use std::sync::{Arc, Mutex};
 
 use uts_ckpt::{
     CheckpointPolicy, CkptError, EngineSnapshot, FaultPlan, Fingerprint, MachineState,
-    RecorderState, SnapshotView, StackSource,
+    PreemptSignal, RecorderState, SnapshotView, StackSource,
 };
 use uts_machine::SimdMachine;
 use uts_tree::{CkptNode, SplitPolicy, TreeProblem};
@@ -105,12 +105,20 @@ pub struct CheckpointCfg {
     /// power-loss-between-steps semantics). The killed run returns its
     /// partial [`Outcome`] with [`Outcome::killed`] set.
     pub fault: Option<FaultPlan>,
+    /// Cooperative preemption: when the shared signal is raised, the run
+    /// parks at its next macro-step boundary — one snapshot of that
+    /// boundary is **forced** into the sink (whatever the policy says)
+    /// and the run returns with [`Outcome::killed`] set. Unlike a fault,
+    /// the parked state is guaranteed captured: resuming the forced
+    /// snapshot continues the schedule bit-identically, which is what a
+    /// preemptive job scheduler relies on.
+    pub preempt: Option<PreemptSignal>,
 }
 
 impl CheckpointCfg {
     /// Checkpoint under `policy` into a fresh in-memory sink.
     pub fn new(policy: CheckpointPolicy) -> Self {
-        Self { policy, sink: CheckpointSink::memory(), fault: None }
+        Self { policy, sink: CheckpointSink::memory(), fault: None, preempt: None }
     }
 
     /// Builder: redirect snapshots to a directory.
@@ -122,6 +130,12 @@ impl CheckpointCfg {
     /// Builder: inject a kill.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Builder: arm cooperative preemption under the given shared signal.
+    pub fn with_preempt(mut self, signal: PreemptSignal) -> Self {
+        self.preempt = Some(signal);
         self
     }
 }
@@ -245,18 +259,23 @@ impl Hook {
     /// Process one macro-step boundary: snapshot if the policy wants it
     /// (encoding lazily — `encode` gets the boundary number and the config
     /// fingerprint and returns the container bytes), then report whether
-    /// the injected fault kills the run here. `fired` says the step ended
-    /// in a balancing phase.
+    /// the run stops here. Two stop causes share the `true` return: the
+    /// injected fault (power-loss semantics — only policy snapshots
+    /// survive) and a raised [`PreemptSignal`] (park semantics — a
+    /// snapshot of *this* boundary is forced into the sink so the run can
+    /// always be resumed from exactly where it stopped). `fired` says the
+    /// step ended in a balancing phase.
     pub(crate) fn boundary(
         &mut self,
         fired: bool,
         encode: impl FnOnce(u64, u64) -> Vec<u8>,
     ) -> bool {
         self.step += 1;
-        if self.cfg.policy.wants(self.step, fired) {
+        let preempted = self.cfg.preempt.as_ref().is_some_and(PreemptSignal::is_raised);
+        if preempted || self.cfg.policy.wants(self.step, fired) {
             self.cfg.sink.store(self.step, encode(self.step, self.fingerprint));
         }
-        self.cfg.fault.is_some_and(|f| f.kill_at_step == self.step)
+        preempted || self.cfg.fault.is_some_and(|f| f.kill_at_step == self.step)
     }
 }
 
@@ -388,6 +407,51 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
             assert_eq!(out, straight, "{engine:?} resume must be bit-identical");
         }
+    }
+
+    #[test]
+    fn preempt_parks_at_the_next_boundary_and_resumes_bit_identically() {
+        let tree = uts_synth::GeometricTree { seed: 4, b_max: 8, depth_limit: 6 };
+        for engine in EngineKind::ALL {
+            let cfg = base().with_ledger().with_engine(engine);
+            let straight = crate::run_with(&tree, &cfg);
+            assert!(!straight.killed);
+
+            // Signal raised before the run even starts: the engine must
+            // still complete one macro-step, then park at boundary 1 with
+            // a forced snapshot (the policy alone would never snapshot).
+            let signal = PreemptSignal::new();
+            signal.raise();
+            let armed = cfg.clone().with_checkpoint_cfg(
+                CheckpointCfg::new(CheckpointPolicy::default()).with_preempt(signal.clone()),
+            );
+            let parked = crate::run_with(&tree, &armed);
+            assert!(parked.killed, "{engine:?}: a raised signal parks the run");
+            let snaps = armed.checkpoint.as_ref().unwrap().sink.taken();
+            assert_eq!(snaps.len(), 1, "{engine:?}: exactly the forced boundary snapshot");
+            assert_eq!(snaps[0].step, 1, "{engine:?}: parked at the first boundary");
+
+            // Park → resume, possibly through further preemptions, must
+            // reproduce the uninterrupted run bit-for-bit.
+            signal.clear();
+            let out = resume_from_bytes(&tree, &cfg, &snaps[0].bytes)
+                .unwrap_or_else(|e| panic!("{engine:?}: {e}"));
+            assert_eq!(out, straight, "{engine:?}: resume after park must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn an_unraised_preempt_signal_changes_nothing() {
+        let tree = uts_synth::GeometricTree { seed: 6, b_max: 8, depth_limit: 6 };
+        let cfg = base();
+        let plain = crate::run_with(&tree, &cfg);
+        let armed = cfg.clone().with_checkpoint_cfg(
+            CheckpointCfg::new(CheckpointPolicy::default()).with_preempt(PreemptSignal::new()),
+        );
+        let out = crate::run_with(&tree, &armed);
+        assert!(!out.killed);
+        assert_eq!(out, plain);
+        assert!(armed.checkpoint.as_ref().unwrap().sink.taken().is_empty());
     }
 
     #[test]

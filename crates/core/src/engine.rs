@@ -64,6 +64,18 @@ impl EngineKind {
             EngineKind::Par => "par",
         }
     }
+
+    /// Parse an engine name — the inverse of [`EngineKind::name`], plus the
+    /// `ref` shorthand. Shared by the CLI and the job-server spec decoder.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "reference" | "ref" => Ok(EngineKind::Reference),
+            "fused" => Ok(EngineKind::Fused),
+            "macro" => Ok(EngineKind::Macro),
+            "par" => Ok(EngineKind::Par),
+            other => Err(format!("unknown engine `{other}` (reference|fused|macro|par)")),
+        }
+    }
 }
 
 /// Engine configuration: machine size, scheme, cost model, knobs.

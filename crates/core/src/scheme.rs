@@ -63,6 +63,34 @@ pub struct Scheme {
 }
 
 impl Scheme {
+    /// Parse a scheme name (`gp-s:0.8`, `ngp-dk`, `fess`, …) — the shared
+    /// grammar for the CLI and the job-server spec decoder.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        fn static_threshold(x: &str) -> Result<f64, String> {
+            let x: f64 = x.parse().map_err(|_| format!("bad static threshold `{x}`"))?;
+            if (0.0..=1.0).contains(&x) {
+                Ok(x)
+            } else {
+                Err(format!("static threshold {x} must lie in [0, 1]"))
+            }
+        }
+        if let Some(x) = s.strip_prefix("gp-s:") {
+            return static_threshold(x).map(Scheme::gp_static);
+        }
+        if let Some(x) = s.strip_prefix("ngp-s:") {
+            return static_threshold(x).map(Scheme::ngp_static);
+        }
+        match s {
+            "gp-dk" => Ok(Scheme::gp_dk()),
+            "ngp-dk" => Ok(Scheme::ngp_dk()),
+            "gp-dp" => Ok(Scheme::gp_dp()),
+            "ngp-dp" => Ok(Scheme::ngp_dp()),
+            "fess" => Ok(Scheme::fess()),
+            "fegs" => Ok(Scheme::fegs()),
+            other => Err(format!("unknown scheme `{other}`")),
+        }
+    }
+
     /// `nGP-S^x` — prior work (Powley et al.; Mahanti & Daniels).
     pub fn ngp_static(x: f64) -> Self {
         Self {

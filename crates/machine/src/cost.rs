@@ -47,6 +47,17 @@ pub struct CostModel {
 }
 
 impl CostModel {
+    /// Parse a cost-model name — the shared grammar for the CLI and the
+    /// job-server spec decoder.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "cm2" => Ok(CostModel::cm2()),
+            "hypercube" => Ok(CostModel::hypercube()),
+            "mesh" => Ok(CostModel::mesh()),
+            other => Err(format!("unknown cost model `{other}` (cm2|hypercube|mesh)")),
+        }
+    }
+
     /// The paper's measured CM-2 constants: 30 ms expansion cycles, 13 ms
     /// balancing phases (setup 3 ms + transfer 10 ms; the paper notes scans
     /// are "a lot smaller" than general communication).

@@ -1,0 +1,322 @@
+//! The job lifecycle state machine, pure and synchronous.
+//!
+//! The scheduler's concurrency lives in `server.rs`; every state
+//! transition funnels through this table so the legal transition relation
+//! is one auditable place — and so the lifecycle property test can drive
+//! random event interleavings against it without sockets or threads.
+//!
+//! ```text
+//!            submit                    claim
+//!   (new) ──────────▶ Queued ───────────────────▶ Running ──┬─▶ Done
+//!                       ▲                            │ ▲     ├─▶ Failed
+//!                       │ cancel                park │ │     └─▶ Cancelled
+//!                       ▼                            ▼ │ claim     ▲
+//!                   Cancelled ◀──────────────────── Parked ────────┘
+//!                                    cancel
+//! ```
+//!
+//! Every mutating method returns whether it applied; an inapplicable
+//! event (completing a job that is not running, claiming from an empty
+//! queue) is rejected **without mutating anything**. `Done`, `Cancelled`
+//! and `Failed` are terminal: no event moves a job out of them.
+//!
+//! Fairness is structural: the run queue is FIFO and a parked job re-
+//! enters at the *tail*, so with finite slices (the engine always
+//! advances at least one macro-step per slice) every job eventually
+//! drains — the stress suite's no-starvation assertion leans on this.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Where a job is in its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Submitted, waiting for a slot. In the run queue.
+    Queued,
+    /// Executing on a runner slot.
+    Running,
+    /// Preempted at a macro-step boundary; snapshot spilled. In the run
+    /// queue, at the tail.
+    Parked,
+    /// Finished; result available. Terminal.
+    Done,
+    /// Cancelled before completion. Terminal.
+    Cancelled,
+    /// The run itself failed (e.g. a spill file that does not decode).
+    /// Terminal.
+    Failed,
+}
+
+impl JobState {
+    /// Lower-case stable name used in JSON bodies and spill markers.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Parked => "parked",
+            JobState::Done => "done",
+            JobState::Cancelled => "cancelled",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Terminal states never transition again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Cancelled | JobState::Failed)
+    }
+}
+
+/// One job's lifecycle record.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Server-assigned id, 1-based, never reused.
+    pub id: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// How many times the job was parked.
+    pub preemptions: u32,
+    /// A cancel arrived while the job was running; it will be honored at
+    /// the next macro-step boundary.
+    pub cancel_requested: bool,
+}
+
+/// The lifecycle table: every job ever submitted, plus the FIFO run
+/// queue of claimable (`Queued` / `Parked`) jobs.
+#[derive(Debug, Default)]
+pub struct JobTable {
+    jobs: BTreeMap<u64, JobRecord>,
+    queue: VecDeque<u64>,
+    next_id: u64,
+}
+
+impl JobTable {
+    /// An empty table; ids start at 1.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Admit a new job at the queue tail; returns its id.
+    pub fn submit(&mut self) -> u64 {
+        self.next_id += 1;
+        let id = self.next_id;
+        self.jobs.insert(
+            id,
+            JobRecord { id, state: JobState::Queued, preemptions: 0, cancel_requested: false },
+        );
+        self.queue.push_back(id);
+        id
+    }
+
+    /// Re-admit a job recovered from a spill directory in `state`
+    /// (queue membership follows from the state). Rejected if the id is
+    /// taken. Recovery feeds ids in ascending order, so FIFO order is
+    /// submission order again after a restart.
+    pub fn restore(&mut self, id: u64, state: JobState, preemptions: u32) -> bool {
+        if id == 0 || self.jobs.contains_key(&id) {
+            return false;
+        }
+        self.jobs.insert(
+            id,
+            JobRecord {
+                id,
+                // A job that was mid-slice when the process died has no
+                // running slot anymore: it recovers as claimable.
+                state: if state == JobState::Running { JobState::Queued } else { state },
+                preemptions,
+                cancel_requested: false,
+            },
+        );
+        if matches!(self.jobs[&id].state, JobState::Queued | JobState::Parked) {
+            self.queue.push_back(id);
+        }
+        self.next_id = self.next_id.max(id);
+        true
+    }
+
+    /// Pop the head of the run queue and mark it running. `None` when no
+    /// job is claimable.
+    pub fn claim_next(&mut self) -> Option<u64> {
+        while let Some(id) = self.queue.pop_front() {
+            let job = self.jobs.get_mut(&id).expect("queued ids exist");
+            if matches!(job.state, JobState::Queued | JobState::Parked) {
+                job.state = JobState::Running;
+                return Some(id);
+            }
+            // A cancel already removed this entry logically; drop it.
+        }
+        None
+    }
+
+    /// Park a running job: back to the queue tail, preemption counted.
+    /// A job with a pending cancel refuses to park — its next boundary
+    /// must observe the cancel ([`Self::finish_cancelled`]), never defer it.
+    pub fn park(&mut self, id: u64) -> bool {
+        if self.jobs.get(&id).is_some_and(|j| j.cancel_requested) {
+            return false;
+        }
+        if !self.transition(id, JobState::Running, JobState::Parked) {
+            return false;
+        }
+        self.jobs.get_mut(&id).expect("transition checked").preemptions += 1;
+        self.queue.push_back(id);
+        true
+    }
+
+    /// A running job finished with a result.
+    pub fn complete(&mut self, id: u64) -> bool {
+        self.transition(id, JobState::Running, JobState::Done)
+    }
+
+    /// A running job's slice failed terminally.
+    pub fn fail(&mut self, id: u64) -> bool {
+        self.transition(id, JobState::Running, JobState::Failed)
+    }
+
+    /// A running job observed its raised cancel at a boundary and
+    /// stopped.
+    pub fn finish_cancelled(&mut self, id: u64) -> bool {
+        self.transition(id, JobState::Running, JobState::Cancelled)
+    }
+
+    /// Request cancellation. `Queued`/`Parked` jobs cancel immediately
+    /// (they hold no slot); a `Running` job is flagged and cancels at its
+    /// next macro-step boundary; terminal jobs are left untouched (the
+    /// call is idempotent, not an error). Returns the resulting state, or
+    /// `None` for unknown ids.
+    pub fn cancel(&mut self, id: u64) -> Option<JobState> {
+        let job = self.jobs.get_mut(&id)?;
+        match job.state {
+            JobState::Queued | JobState::Parked => {
+                job.state = JobState::Cancelled;
+                self.queue.retain(|&q| q != id);
+            }
+            JobState::Running => job.cancel_requested = true,
+            JobState::Done | JobState::Cancelled | JobState::Failed => {}
+        }
+        Some(self.jobs[&id].state)
+    }
+
+    /// The job's record, if it exists.
+    pub fn get(&self, id: u64) -> Option<&JobRecord> {
+        self.jobs.get(&id)
+    }
+
+    /// All records, ascending by id.
+    pub fn iter(&self) -> impl Iterator<Item = &JobRecord> {
+        self.jobs.values()
+    }
+
+    /// Number of claimable jobs waiting in the run queue.
+    pub fn waiting(&self) -> usize {
+        self.queue
+            .iter()
+            .filter(|id| matches!(self.jobs[id].state, JobState::Queued | JobState::Parked))
+            .count()
+    }
+
+    fn transition(&mut self, id: u64, from: JobState, to: JobState) -> bool {
+        match self.jobs.get_mut(&id) {
+            Some(job) if job.state == from => {
+                job.state = to;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Internal invariants, asserted by the property test after every
+    /// event: queue entries are unique and claimable (modulo lazily
+    /// removed cancellations), and every claimable job is in the queue.
+    pub fn check_invariants(&self) {
+        let mut seen = std::collections::BTreeSet::new();
+        for id in &self.queue {
+            assert!(seen.insert(*id), "job {id} queued twice");
+            assert!(self.jobs.contains_key(id), "queue references unknown job {id}");
+        }
+        for job in self.jobs.values() {
+            match job.state {
+                JobState::Queued | JobState::Parked => {
+                    assert!(seen.contains(&job.id), "claimable job {} not queued", job.id)
+                }
+                JobState::Running => {
+                    assert!(!seen.contains(&job.id), "running job {} still queued", job.id)
+                }
+                _ => {}
+            }
+            if job.cancel_requested {
+                // The flag is raised only on running jobs; it survives into
+                // whatever terminal state the slice reaches (the cancel may
+                // race a completion or a failure), but never into `Parked` —
+                // `park` refuses while a cancel is pending.
+                assert!(
+                    job.state != JobState::Queued && job.state != JobState::Parked,
+                    "cancel_requested on {} in {:?}",
+                    job.id,
+                    job.state
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_happy_path_walks_the_diagram() {
+        let mut t = JobTable::new();
+        let id = t.submit();
+        assert_eq!(t.get(id).unwrap().state, JobState::Queued);
+        assert_eq!(t.claim_next(), Some(id));
+        assert!(t.park(id));
+        assert_eq!(t.get(id).unwrap().state, JobState::Parked);
+        assert_eq!(t.get(id).unwrap().preemptions, 1);
+        assert_eq!(t.claim_next(), Some(id));
+        assert!(t.complete(id));
+        assert!(t.get(id).unwrap().state.is_terminal());
+        t.check_invariants();
+    }
+
+    #[test]
+    fn cancel_semantics_depend_on_where_the_job_is() {
+        let mut t = JobTable::new();
+        let q = t.submit();
+        assert_eq!(t.cancel(q), Some(JobState::Cancelled));
+        assert_eq!(t.claim_next(), None, "cancelled job left the queue");
+
+        let r = t.submit();
+        t.claim_next();
+        assert_eq!(t.cancel(r), Some(JobState::Running), "running jobs cancel at a boundary");
+        assert!(t.get(r).unwrap().cancel_requested);
+        assert!(t.finish_cancelled(r));
+
+        assert_eq!(t.cancel(r), Some(JobState::Cancelled), "terminal cancel is idempotent");
+        assert_eq!(t.cancel(999), None);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn inapplicable_events_reject_without_mutating() {
+        let mut t = JobTable::new();
+        let id = t.submit();
+        assert!(!t.park(id), "cannot park a queued job");
+        assert!(!t.complete(id), "cannot complete a queued job");
+        assert!(!t.fail(id));
+        assert_eq!(t.get(id).unwrap().state, JobState::Queued);
+        t.check_invariants();
+    }
+
+    #[test]
+    fn restore_rebuilds_the_queue_in_id_order_and_never_reuses_ids() {
+        let mut t = JobTable::new();
+        assert!(t.restore(2, JobState::Parked, 3));
+        assert!(t.restore(4, JobState::Done, 0));
+        assert!(t.restore(5, JobState::Running, 1), "running recovers as claimable");
+        assert!(!t.restore(2, JobState::Queued, 0), "ids are never reused");
+        assert_eq!(t.claim_next(), Some(2));
+        assert_eq!(t.claim_next(), Some(5));
+        assert_eq!(t.get(5).unwrap().state, JobState::Running);
+        assert_eq!(t.submit(), 6, "fresh ids continue past recovered ones");
+        t.check_invariants();
+    }
+}

@@ -121,7 +121,7 @@ impl TreeProblem for BinomialTree {
 
 /// Geometric tree: node at depth `d < depth_limit` has `hash % (b_max + 1)`
 /// children; deeper nodes are leaves.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct GeometricTree {
     /// Tree seed.
     pub seed: u64,

@@ -57,6 +57,7 @@
 //! | [`viz`] | dependency-free SVG chart rendering (`uts-viz`) |
 //! | [`net`] | hypercube/mesh routing simulation validating the t_lb models (`uts-net`) |
 //! | [`ckpt`] | versioned snapshot format, checkpoint policies, fault injection (`uts-ckpt`) |
+//! | [`serve`] | HTTP/JSON job server with preemptive checkpoint scheduling (`uts-serve`) |
 
 pub use uts_analysis as analysis;
 pub use uts_ckpt as ckpt;
@@ -68,13 +69,14 @@ pub use uts_par as par;
 pub use uts_problems as problems;
 pub use uts_puzzle15 as puzzle15;
 pub use uts_scan as scan;
+pub use uts_serve as serve;
 pub use uts_synth as synth;
 pub use uts_tree as tree;
 pub use uts_viz as viz;
 
 /// The names almost every user needs.
 pub mod prelude {
-    pub use uts_ckpt::{CheckpointPolicy, CkptError, EngineSnapshot, FaultPlan};
+    pub use uts_ckpt::{CheckpointPolicy, CkptError, EngineSnapshot, FaultPlan, PreemptSignal};
     pub use uts_core::{
         config_fingerprint, resume_from_bytes, resume_with, run, run_fused, run_par, run_reference,
         run_report_json, run_with, CheckpointCfg, CheckpointSink, EngineConfig, EngineKind,
@@ -88,8 +90,10 @@ pub mod prelude {
         serial_dfs, CkptNode, HeuristicProblem, SearchStack, SplitPolicy, TreeProblem,
     };
 
+    pub use uts_serve::{outcome_digest, JobServer, JobSpec, JobState, ServeConfig, ServeError};
+
     pub use crate::{
-        analysis, ckpt, core, machine, mimd, net, par, problems, puzzle15, scan, synth, tree,
+        analysis, ckpt, core, machine, mimd, net, par, problems, puzzle15, scan, serve, synth, tree,
     };
 }
 
