@@ -7,8 +7,8 @@
 //! cargo run --release -p uts-bench --bin bench_engine -- [--quick] [--check] [--out PATH]
 //! ```
 //!
-//! Two workloads are measured (one in `--quick` mode): the 37k-node
-//! geometric tree at the paper's machine sizes, and a 2.4M-node deep tree
+//! Two workloads are measured (one in `--quick` mode): the 35k-node
+//! geometric tree at the paper's machine sizes, and a 2.2M-node deep tree
 //! at P = 8192. The small tree undersubscribes an 8K machine so badly
 //! that the trigger fires after nearly every cycle — there the macro
 //! engine can only show parity with the fused loop (its single-cycle fast
@@ -52,7 +52,7 @@
 //! {
 //!   "bench": "engine_cycle",
 //!   "trees": [
-//!     {"label": "d7", "seed": 2, "b_max": 8, "depth_limit": 7, "nodes": 37017},
+//!     {"label": "d7", "seed": 2, "b_max": 8, "depth_limit": 7, "nodes": 34542},
 //!     ...
 //!   ],
 //!   "results": [

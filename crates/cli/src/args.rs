@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 use uts_core::{EngineKind, Scheme};
 use uts_machine::CostModel;
 use uts_puzzle15::{korf_instances, Instance};
+use uts_synthgen::GenTree;
 
 /// Parsed `--key value` flags.
 #[derive(Debug, Clone, Default)]
@@ -85,6 +86,53 @@ impl WorkloadSpec {
             }
             WorkloadSpec::Scramble { seed, walk } => uts_puzzle15::scrambled(seed, walk),
         }
+    }
+}
+
+/// A workload for the SIMD engines (`sts run` / `sts resume`): the
+/// default bounded 15-puzzle iteration, or an on-the-fly generated tree
+/// selected with `--workload utsgen`.
+#[derive(Debug, Clone, Copy)]
+pub enum SimdWorkloadSpec {
+    /// A bounded 15-puzzle iteration (the default).
+    Puzzle(WorkloadSpec),
+    /// A generated Galton–Watson tree from `uts-synthgen`.
+    UtsGen(GenTree),
+}
+
+/// Parse the SIMD workload. `--workload utsgen` selects the generated
+/// family (`--family geometric|binomial` plus `--seed`, and `--b-max
+/// --depth` or `--b0 --m --q`); anything else falls through to the
+/// 15-puzzle grammar of [`parse_workload`].
+pub fn parse_simd_workload(flags: &Flags) -> Result<SimdWorkloadSpec, String> {
+    match flags.get("workload") {
+        None | Some("puzzle15") => Ok(SimdWorkloadSpec::Puzzle(parse_workload(flags)?)),
+        Some("utsgen") => {
+            let seed = flags.get_parsed("seed", 1u64)?;
+            match flags.get("family").unwrap_or("geometric") {
+                "geometric" => {
+                    let b_max = flags.get_parsed("b-max", 8u32)?;
+                    let depth = flags.get_parsed("depth", 6u32)?;
+                    if depth > 64 {
+                        return Err(format!("--depth {depth}: at most 64"));
+                    }
+                    Ok(SimdWorkloadSpec::UtsGen(GenTree::geometric(seed, b_max, depth)))
+                }
+                "binomial" => {
+                    let b0 = flags.get_parsed("b0", 16u32)?;
+                    let m = flags.get_parsed("m", 4u32)?;
+                    let q = flags.get_parsed("q", 0.2f64)?;
+                    if !(0.0..1.0).contains(&q) || q * m as f64 >= 1.0 {
+                        return Err(format!(
+                            "--q {q} --m {m}: the binomial family must be subcritical (q*m < 1)"
+                        ));
+                    }
+                    Ok(SimdWorkloadSpec::UtsGen(GenTree::binomial(seed, b0, m, q)))
+                }
+                other => Err(format!("--family: unknown `{other}` (geometric|binomial)")),
+            }
+        }
+        Some(other) => Err(format!("--workload: unknown `{other}` (puzzle15|utsgen)")),
     }
 }
 

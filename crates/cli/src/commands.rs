@@ -13,7 +13,12 @@ use uts_tree::ida::ida_star;
 use uts_tree::problem::BoundedProblem;
 use uts_tree::serial_dfs;
 
-use crate::args::{parse_cost, parse_engine, parse_scheme, parse_workload, Flags};
+use uts_synthgen::{GenFamily, GenTree};
+
+use crate::args::{
+    parse_cost, parse_engine, parse_scheme, parse_simd_workload, parse_workload, Flags,
+    SimdWorkloadSpec,
+};
 
 /// `sts solve`: serial IDA\* on a 15-puzzle.
 pub fn solve(flags: &Flags) -> Result<(), String> {
@@ -32,19 +37,42 @@ pub fn solve(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-/// Everything `sts run` and `sts resume` share: the workload instance, the
-/// iteration bound, and the fully-built engine config. `sts resume` must
-/// rebuild the *same* config the checkpointing run used (the snapshot only
-/// carries a fingerprint of it, not the config itself), so both commands
-/// funnel through here and accept the same flags.
+/// The materialized problem a SIMD run searches: a bounded 15-puzzle
+/// iteration (the default), or a generated tree (`--workload utsgen`).
+enum SimdWorkload {
+    Puzzle { puzzle: Puzzle15, bound: u32 },
+    UtsGen(GenTree),
+}
+
+impl SimdWorkload {
+    fn describe(&self) -> String {
+        match self {
+            SimdWorkload::Puzzle { bound, .. } => format!("15-puzzle, bound {bound}"),
+            SimdWorkload::UtsGen(t) => match t.family {
+                GenFamily::Geometric { b_max, depth_limit } => format!(
+                    "utsgen geometric (seed {}, b_max {b_max}, depth {depth_limit})",
+                    t.seed
+                ),
+                GenFamily::Binomial { b0, m, .. } => {
+                    format!("utsgen binomial (seed {}, b0 {b0}, m {m})", t.seed)
+                }
+            },
+        }
+    }
+}
+
+/// Everything `sts run` and `sts resume` share: the workload instance and
+/// the fully-built engine config. `sts resume` must rebuild the *same*
+/// config the checkpointing run used (the snapshot only carries a
+/// fingerprint of it, not the config itself), so both commands funnel
+/// through here and accept the same flags.
 struct SimdSetup {
-    puzzle: Puzzle15,
-    bound: u32,
+    workload: SimdWorkload,
     cfg: EngineConfig,
 }
 
 fn simd_setup(flags: &Flags) -> Result<SimdSetup, String> {
-    let spec = parse_workload(flags)?;
+    let spec = parse_simd_workload(flags)?;
     let p = flags.get_parsed("p", 1024usize)?;
     let scheme = match flags.get("scheme") {
         Some(s) => parse_scheme(s)?,
@@ -56,14 +84,20 @@ fn simd_setup(flags: &Flags) -> Result<SimdSetup, String> {
     };
     let cost = cost.with_lb_multiplier(flags.get_parsed("lb-mult", 1u32)?);
 
-    let inst = spec.instance();
-    let puzzle = Puzzle15::new(inst.board());
-    // Bound: explicit flag, else the final IDA* bound.
-    let bound = match flags.get("bound") {
-        Some(b) => b.parse().map_err(|_| format!("--bound: bad value `{b}`"))?,
-        None => {
-            ida_star(&puzzle, 80).solution_cost.ok_or("instance not solvable within bound 80")?
+    let workload = match spec {
+        SimdWorkloadSpec::Puzzle(pz) => {
+            let inst = pz.instance();
+            let puzzle = Puzzle15::new(inst.board());
+            // Bound: explicit flag, else the final IDA* bound.
+            let bound = match flags.get("bound") {
+                Some(b) => b.parse().map_err(|_| format!("--bound: bad value `{b}`"))?,
+                None => ida_star(&puzzle, 80)
+                    .solution_cost
+                    .ok_or("instance not solvable within bound 80")?,
+            };
+            SimdWorkload::Puzzle { puzzle, bound }
         }
+        SimdWorkloadSpec::UtsGen(tree) => SimdWorkload::UtsGen(tree),
     };
     let mut cfg = EngineConfig::new(p, scheme, cost);
     cfg.record_ledger = flags.get_parsed("ledger", false)?;
@@ -90,14 +124,14 @@ fn simd_setup(flags: &Flags) -> Result<SimdSetup, String> {
         }
         cfg.checkpoint = Some(ck);
     }
-    Ok(SimdSetup { puzzle, bound, cfg })
+    Ok(SimdSetup { workload, cfg })
 }
 
-fn print_outcome(cfg: &EngineConfig, bound: u32, out: &Outcome) {
+fn print_outcome(cfg: &EngineConfig, workload: &str, out: &Outcome) {
     let p = cfg.p;
     println!("scheme        : {}", cfg.scheme.name());
     println!("P             : {p}");
-    println!("bound         : {bound}");
+    println!("workload      : {workload}");
     println!("W (nodes)     : {}", out.report.nodes_expanded);
     println!("goals         : {}", out.goals);
     println!("Nexpand cycles: {}", out.report.n_expand);
@@ -124,12 +158,17 @@ fn print_outcome(cfg: &EngineConfig, bound: u32, out: &Outcome) {
     }
 }
 
-/// `sts run`: parallel SIMD search of one bounded iteration.
+/// `sts run`: parallel SIMD search of one bounded iteration or one
+/// generated tree.
 pub fn run_simd(flags: &Flags) -> Result<(), String> {
     let setup = simd_setup(flags)?;
-    let bp = BoundedProblem::new(&setup.puzzle, setup.bound);
-    let out = run_with(&bp, &setup.cfg);
-    print_outcome(&setup.cfg, setup.bound, &out);
+    let out = match &setup.workload {
+        SimdWorkload::Puzzle { puzzle, bound } => {
+            run_with(&BoundedProblem::new(puzzle, *bound), &setup.cfg)
+        }
+        SimdWorkload::UtsGen(tree) => run_with(tree, &setup.cfg),
+    };
+    print_outcome(&setup.cfg, &setup.workload.describe(), &out);
     Ok(())
 }
 
@@ -143,9 +182,14 @@ pub fn resume(flags: &Flags) -> Result<(), String> {
     let path = flags.get("snapshot").ok_or("--snapshot PATH is required")?;
     let bytes = std::fs::read(path).map_err(|e| format!("--snapshot {path}: {e}"))?;
     let setup = simd_setup(flags)?;
-    let bp = BoundedProblem::new(&setup.puzzle, setup.bound);
-    let out = resume_from_bytes(&bp, &setup.cfg, &bytes).map_err(|e| format!("{path}: {e}"))?;
-    print_outcome(&setup.cfg, setup.bound, &out);
+    let out = match &setup.workload {
+        SimdWorkload::Puzzle { puzzle, bound } => {
+            resume_from_bytes(&BoundedProblem::new(puzzle, *bound), &setup.cfg, &bytes)
+        }
+        SimdWorkload::UtsGen(tree) => resume_from_bytes(tree, &setup.cfg, &bytes),
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    print_outcome(&setup.cfg, &setup.workload.describe(), &out);
     Ok(())
 }
 

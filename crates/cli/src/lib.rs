@@ -6,7 +6,10 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{parse_cost, parse_engine, parse_scheme, parse_workload, Flags, WorkloadSpec};
+pub use args::{
+    parse_cost, parse_engine, parse_scheme, parse_simd_workload, parse_workload, Flags,
+    SimdWorkloadSpec, WorkloadSpec,
+};
 
 /// Exit with a usage message.
 pub const USAGE: &str = "\
@@ -17,7 +20,7 @@ USAGE:
   sts run     [--p P] [--scheme SCHEME] [--cost MODEL] [--lb-mult M]
               [--seed S] [--walk N | --korf K] [--bound B] [--ledger true]
               [--engine E] [--checkpoint-dir DIR] [--checkpoint-every N]
-              [--kill-at K]                              parallel SIMD search
+              [--kill-at K] [--workload puzzle15|utsgen]  parallel SIMD search
   sts resume  --snapshot PATH [same flags as run]        resume from a checkpoint
   sts mimd    [--p P] [--policy grr|arr|rp|nn] [--seed S] [--walk N]
                                                          MIMD work stealing
@@ -37,6 +40,13 @@ snapshot `ckpt-<step>.bin` into DIR every Nth macro-step boundary;
 --snapshot DIR/ckpt-....bin` continues the run — pass the *same* workload
 and config flags: a snapshot is only valid against the configuration that
 produced it (enforced by a config fingerprint in the header).
+
+Generated trees: `sts run --workload utsgen` searches an on-the-fly
+Galton–Watson tree instead of a 15-puzzle iteration. `--family geometric`
+(default) takes `--seed S --b-max B --depth D`; `--family binomial` takes
+`--seed S --b0 B --m M --q Q` with q*m < 1 (subcritical). Nodes are derived
+from a hash-chained RNG state, so memory stays O(live stacks) no matter
+how large the tree is.
 
 Serving: `sts serve` runs a job server. POST a spec like
 `{\"workload\":{\"kind\":\"synth\",\"seed\":1},\"p\":256,\"scheme\":\"gp-dk\"}` to
@@ -112,5 +122,54 @@ mod tests {
         }
         let f = Flags::parse(&["--korf", "99"]).unwrap();
         assert!(parse_workload(&f).is_err(), "only the embedded Korf ids exist");
+    }
+
+    #[test]
+    fn simd_workload_grammar_covers_utsgen() {
+        use uts_synthgen::GenFamily;
+
+        let f = Flags::parse(&["--workload", "utsgen", "--seed", "7", "--depth", "5"]).unwrap();
+        match parse_simd_workload(&f).unwrap() {
+            SimdWorkloadSpec::UtsGen(t) => {
+                assert_eq!(t.seed, 7);
+                assert!(matches!(t.family, GenFamily::Geometric { b_max: 8, depth_limit: 5 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        let f = Flags::parse(&[
+            "--workload",
+            "utsgen",
+            "--family",
+            "binomial",
+            "--b0",
+            "32",
+            "--m",
+            "4",
+            "--q",
+            "0.2",
+        ])
+        .unwrap();
+        match parse_simd_workload(&f).unwrap() {
+            SimdWorkloadSpec::UtsGen(t) => {
+                assert!(matches!(t.family, GenFamily::Binomial { b0: 32, m: 4, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Default (no --workload) stays the 15-puzzle grammar.
+        let f = Flags::parse(&["--korf", "3"]).unwrap();
+        assert!(matches!(
+            parse_simd_workload(&f).unwrap(),
+            SimdWorkloadSpec::Puzzle(WorkloadSpec::Korf(3))
+        ));
+        // Supercritical binomial, depth > 64, unknown family/workload: refused.
+        let f =
+            Flags::parse(&["--workload", "utsgen", "--family", "binomial", "--q", "0.3"]).unwrap();
+        assert!(parse_simd_workload(&f).is_err(), "q*m = 1.2 is supercritical");
+        let f = Flags::parse(&["--workload", "utsgen", "--depth", "65"]).unwrap();
+        assert!(parse_simd_workload(&f).is_err());
+        let f = Flags::parse(&["--workload", "utsgen", "--family", "fibonacci"]).unwrap();
+        assert!(parse_simd_workload(&f).is_err());
+        let f = Flags::parse(&["--workload", "hanoi"]).unwrap();
+        assert!(parse_simd_workload(&f).is_err());
     }
 }

@@ -476,6 +476,7 @@ pub(crate) fn run_fused_from<P: TreeProblem>(
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut peak_stack_nodes,
                 &mut recorder,
             );
         }
@@ -761,6 +762,19 @@ pub(crate) fn trigger_fires(
 /// One full load-balancing phase (all transfer modes), including the
 /// machine accounting. Shared verbatim by the fused, macro and parallel
 /// engines; the caller has already decided the trigger fires effectively.
+///
+/// `peak_stack_nodes` is observed at *transfer time*: every fed receiver's
+/// post-transfer length is folded in as the transfer lands, not at the
+/// next expansion census. For the current transfer modes this is provably
+/// redundant — `Single`/`Multiple` receivers start empty and get a chunk
+/// strictly smaller than their donor's already-censused length, and
+/// `Equalize` receivers end at most `ceil(total/P)`, which is bounded by
+/// the censused maximum — so the reported peak (and the cross-engine
+/// bit-identity) is unchanged. It exists so the high-water mark stays
+/// honest by construction for any future transfer mode whose mid-phase
+/// temporaries could exceed the post-phase stack tops (the unbounded-memory
+/// failure of Sec. 8's Frye–Myczkowski variant), and the reference oracle
+/// re-checks it with a full recount under `debug_assertions`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn balancing_phase<N>(
     cfg: &EngineConfig,
@@ -772,6 +786,7 @@ pub(crate) fn balancing_phase<N>(
     donations: &mut [u32],
     lb: &mut LbBuffers,
     idle: usize,
+    peak_stack_nodes: &mut usize,
     recorder: &mut Option<LedgerRecorder>,
 ) {
     let mut rounds = 0u32;
@@ -794,6 +809,7 @@ pub(crate) fn balancing_phase<N>(
                 donations,
                 busy_count,
                 &mut lb.incoming,
+                peak_stack_nodes,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
             );
             merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
@@ -829,6 +845,7 @@ pub(crate) fn balancing_phase<N>(
                     donations,
                     busy_count,
                     &mut lb.incoming,
+                    peak_stack_nodes,
                     recorder.as_mut().map(LedgerRecorder::receipts_mut),
                 );
                 merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
@@ -847,6 +864,7 @@ pub(crate) fn balancing_phase<N>(
                 arena,
                 &mut transfers,
                 donations,
+                peak_stack_nodes,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
             );
             active.clear();
@@ -897,7 +915,11 @@ pub(crate) fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mu
 /// census: the busy count and the list of PEs that must (re)join the
 /// active list (busy state itself lives in the arena's lens mirror, which
 /// [`StackArena::split_into`] keeps in sync). Transfers move nodes between
-/// flat slabs directly.
+/// flat slabs directly. Every fed receiver's post-transfer length is
+/// folded into `peak`, so the high-water mark observes balancing-phase
+/// state the next expansion census would miss if the receiver shrank
+/// first (see [`balancing_phase`]).
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn apply_pairs<N>(
     arena: &mut StackArena<N>,
     pairs: &[Pair],
@@ -905,6 +927,7 @@ pub(crate) fn apply_pairs<N>(
     donations: &mut [u32],
     busy_count: &mut usize,
     incoming: &mut Vec<usize>,
+    peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
 ) -> u64 {
     let mut done = 0;
@@ -921,6 +944,7 @@ pub(crate) fn apply_pairs<N>(
             // receiver now holds work (and may itself be splittable).
             *busy_count -= (!arena.can_split(pair.donor)) as usize;
             *busy_count += arena.can_split(pair.receiver) as usize;
+            *peak = (*peak).max(arena.len_of(pair.receiver));
             incoming.push(pair.receiver);
         }
     }
@@ -967,6 +991,7 @@ pub(crate) fn equalize<N>(
     arena: &mut StackArena<N>,
     transfers: &mut u64,
     donations: &mut [u32],
+    peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
 ) -> u32 {
     let p = arena.p();
@@ -995,6 +1020,7 @@ pub(crate) fn equalize<N>(
                     rc[r] += 1;
                 }
                 *transfers += 1;
+                *peak = (*peak).max(arena.len_of(r));
                 moved_any = true;
             }
         }
@@ -1184,6 +1210,31 @@ mod tests {
         // Geometric tree: depth <= 6, branching <= 8 → a DFS stack holds
         // at most depth * (b_max - 1) + 1 alternatives plus split slack.
         assert!(out.peak_stack_nodes <= 6 * 8 + 8, "peak {}", out.peak_stack_nodes);
+    }
+
+    #[test]
+    fn peak_stack_reconciles_across_engines_and_transfer_modes() {
+        // The high-water mark is observed in two places: the expansion
+        // census and (since the transfer-time fix) every receiver as its
+        // transfer lands inside the balancing phase. The reference oracle
+        // additionally recounts all P stacks after each settled phase under
+        // debug_assertions. One scheme per transfer mode (Single, Multiple,
+        // Equalize), engines compared pairwise.
+        let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
+        for scheme in [Scheme::gp_static(0.8), Scheme::gp_dp(), Scheme::fegs()] {
+            let cfg = EngineConfig::new(64, scheme, CostModel::cm2());
+            let oracle = crate::reference::run_reference(&tree, &cfg);
+            for engine in [EngineKind::Fused, EngineKind::Macro, EngineKind::Par] {
+                let out = run_with(&tree, &cfg.clone().with_engine(engine));
+                assert_eq!(
+                    out.peak_stack_nodes,
+                    oracle.peak_stack_nodes,
+                    "{} peak diverges from oracle under {}",
+                    engine.name(),
+                    scheme.name()
+                );
+            }
+        }
     }
 
     #[test]

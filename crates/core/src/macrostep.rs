@@ -187,6 +187,7 @@ pub(crate) fn run_from<P: TreeProblem>(
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut peak_stack_nodes,
                 &mut recorder,
             );
         }

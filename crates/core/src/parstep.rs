@@ -397,6 +397,7 @@ pub(crate) fn run_par_from<P: TreeProblem>(
                 &mut donations,
                 &mut lb,
                 idle,
+                &mut peak_stack_nodes,
                 &mut recorder,
             );
         }

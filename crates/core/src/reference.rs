@@ -160,6 +160,7 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
                         &pairs,
                         cfg.split,
                         &mut donations,
+                        &mut peak_stack_nodes,
                         receipts.as_deref_mut(),
                     );
                     rounds = 1;
@@ -178,12 +179,19 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
                         &pairs,
                         cfg.split,
                         &mut donations,
+                        &mut peak_stack_nodes,
                         receipts.as_deref_mut(),
                     );
                     rounds += 1;
                 },
                 TransferMode::Equalize => {
-                    rounds = equalize(&mut pes, &mut transfers, &mut donations, receipts);
+                    rounds = equalize(
+                        &mut pes,
+                        &mut transfers,
+                        &mut donations,
+                        &mut peak_stack_nodes,
+                        receipts,
+                    );
                 }
             }
             if rounds > 0 {
@@ -191,6 +199,20 @@ pub(crate) fn run_reference_from<P: TreeProblem>(
             }
             if let Some(rec) = recorder.as_mut() {
                 rec.settle(cfg, &machine, rounds, transfers);
+            }
+            // Reconciliation recount (oracle only): after the phase settles,
+            // no stack — donor or receiver, at any point during the phase —
+            // may have exceeded the running high-water mark. Transfers only
+            // ever *move* nodes (a receiver peaks exactly when its transfer
+            // lands, which `apply_pairs`/`equalize` observed; a donor only
+            // shrinks), so a full recount must already be covered.
+            #[cfg(debug_assertions)]
+            for (i, pe) in pes.iter().enumerate() {
+                debug_assert!(
+                    pe.stack.len() <= peak_stack_nodes,
+                    "peak_stack_nodes undercounts PE {i}: {} > {peak_stack_nodes}",
+                    pe.stack.len(),
+                );
             }
         }
 
@@ -264,6 +286,7 @@ fn apply_pairs<N: Clone>(
     pairs: &[uts_scan::Pair],
     split: SplitPolicy,
     donations: &mut [u32],
+    peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
 ) -> u64 {
     let mut done = 0;
@@ -277,6 +300,7 @@ fn apply_pairs<N: Clone>(
             if let Some(r) = receipts.as_deref_mut() {
                 r[pair.receiver] += 1;
             }
+            *peak = (*peak).max(pes[pair.receiver].stack.len());
             done += 1;
         }
     }
@@ -289,6 +313,7 @@ fn equalize<N: Clone>(
     pes: &mut [Pe<N>],
     transfers: &mut u64,
     donations: &mut [u32],
+    peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
 ) -> u32 {
     let p = pes.len();
@@ -314,6 +339,7 @@ fn equalize<N: Clone>(
                     rc[r] += 1;
                 }
                 *transfers += 1;
+                *peak = (*peak).max(pes[r].stack.len());
                 moved_any = true;
             }
         }

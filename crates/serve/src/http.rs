@@ -49,7 +49,7 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
     }
     let (method, path) = (method.to_string(), path.to_string());
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut head_bytes = line.len();
     loop {
         let mut header = String::new();
@@ -68,13 +68,27 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, ServeError> {
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| ServeError::Proto(format!("bad content-length `{value}`")))?;
+                content_length = Some(
+                    value
+                        .trim()
+                        .parse()
+                        .map_err(|_| ServeError::Proto(format!("bad content-length `{value}`")))?,
+                );
             }
         }
     }
+    // A POST carries a body by definition here (every POST endpoint either
+    // parses one or explicitly ignores it); without a `Content-Length`
+    // header the frame is unreadable — reading "no body" would surface
+    // later as a baffling empty-spec parse error, so reject the framing
+    // itself up front.
+    let content_length = match content_length {
+        Some(n) => n,
+        None if method == "POST" => {
+            return Err(ServeError::Proto("POST without a content-length header".into()));
+        }
+        None => 0,
+    };
     if content_length > MAX_BODY {
         return Err(ServeError::BodyTooLarge { limit: MAX_BODY, got: content_length });
     }

@@ -1,7 +1,8 @@
 //! Job specifications: what a client submits, and how it runs.
 //!
 //! A spec is the JSON body of `POST /submit`: a workload (a seeded
-//! [`GeometricTree`] or a 15-puzzle scramble) plus the engine knobs the
+//! [`GeometricTree`], an on-the-fly [`GenTree`] generator, or a 15-puzzle
+//! scramble) plus the engine knobs the
 //! CLI exposes (`p`, `scheme`, `cost`, `engine`, `threads`, `ledger`).
 //! Parsing is strict — unknown fields and wrong types are [`ServeError::Proto`]
 //! rejections, mirroring the CLI's flag grammar via the shared
@@ -22,6 +23,7 @@ use uts_core::{
 use uts_machine::CostModel;
 use uts_puzzle15::Puzzle15;
 use uts_synth::GeometricTree;
+use uts_synthgen::GenTree;
 use uts_tree::ida::ida_star;
 use uts_tree::problem::BoundedProblem;
 
@@ -33,6 +35,10 @@ use crate::json::Json;
 pub enum Workload {
     /// A seeded synthetic geometric tree (`uts-synth`).
     Synth(GeometricTree),
+    /// An on-the-fly hash-chained generator tree (`uts-synthgen`):
+    /// `{"kind":"utsgen","family":"geometric"|"binomial", "seed":…,
+    /// "b_max":…, "depth":…}` or `{"…","b0":…, "m":…, "q":…}`.
+    UtsGen(GenTree),
     /// One bounded IDA\* iteration of a seeded 15-puzzle scramble. The
     /// bound is resolved at parse time (explicit field, else the optimal
     /// cost from a serial IDA\* probe) so every slice of the job searches
@@ -64,6 +70,16 @@ fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, ServeError> {
             .as_u64()
             .map(Some)
             .ok_or_else(|| ServeError::Proto(format!("`{key}` must be an unsigned integer"))),
+    }
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<Option<f64>, ServeError> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| ServeError::Proto(format!("`{key}` must be a number"))),
     }
 }
 
@@ -165,6 +181,45 @@ impl JobSpec {
                     depth_limit: depth_limit as u32,
                 }))
             }
+            "utsgen" => {
+                let family = field_str(w, "family")?.unwrap_or("geometric");
+                let seed = field_u64(w, "seed")?.unwrap_or(1);
+                match family {
+                    "geometric" => {
+                        check_known_keys(
+                            w,
+                            &["kind", "family", "seed", "b_max", "depth"],
+                            "utsgen geometric workload",
+                        )?;
+                        let b_max = field_u64(w, "b_max")?.unwrap_or(8);
+                        let depth = field_u64(w, "depth")?.unwrap_or(6);
+                        if b_max > u32::MAX as u64 || depth > 64 {
+                            return Err(ServeError::Proto("utsgen workload out of range".into()));
+                        }
+                        Ok(Workload::UtsGen(GenTree::geometric(seed, b_max as u32, depth as u32)))
+                    }
+                    "binomial" => {
+                        check_known_keys(
+                            w,
+                            &["kind", "family", "seed", "b0", "m", "q"],
+                            "utsgen binomial workload",
+                        )?;
+                        let b0 = field_u64(w, "b0")?.unwrap_or(16);
+                        let m = field_u64(w, "m")?.unwrap_or(4);
+                        let q = field_f64(w, "q")?.unwrap_or(0.2);
+                        if b0 > u32::MAX as u64 || m > u32::MAX as u64 {
+                            return Err(ServeError::Proto("utsgen workload out of range".into()));
+                        }
+                        if !(0.0..1.0).contains(&q) || q * m as f64 >= 1.0 {
+                            return Err(ServeError::Proto(format!(
+                                "utsgen binomial must be subcritical: q·m < 1, got q={q} m={m}"
+                            )));
+                        }
+                        Ok(Workload::UtsGen(GenTree::binomial(seed, b0 as u32, m as u32, q)))
+                    }
+                    other => Err(ServeError::Proto(format!("unknown utsgen family `{other}`"))),
+                }
+            }
             "scramble" => {
                 check_known_keys(w, &["kind", "seed", "walk", "bound"], "scramble workload")?;
                 let seed = field_u64(w, "seed")?.unwrap_or(42);
@@ -219,6 +274,10 @@ impl JobSpec {
     fn dispatch(&self, cfg: &EngineConfig, parked: Option<&[u8]>) -> Result<Outcome, CkptError> {
         match &self.workload {
             Workload::Synth(tree) => match parked {
+                None => Ok(run_with(tree, cfg)),
+                Some(bytes) => resume_from_bytes(tree, cfg, bytes),
+            },
+            Workload::UtsGen(tree) => match parked {
                 None => Ok(run_with(tree, cfg)),
                 Some(bytes) => resume_from_bytes(tree, cfg, bytes),
             },
@@ -280,6 +339,59 @@ mod tests {
             let err = JobSpec::parse(bad).unwrap_err();
             assert_eq!(err.kind(), "proto", "`{bad}` → {err}");
         }
+    }
+
+    #[test]
+    fn parses_utsgen_specs_for_both_families() {
+        let g = JobSpec::parse(
+            r#"{"workload":{"kind":"utsgen","family":"geometric","seed":5,"b_max":6,"depth":7}}"#,
+        )
+        .unwrap();
+        assert_eq!(g.workload, Workload::UtsGen(GenTree::geometric(5, 6, 7)));
+        let d = JobSpec::parse(r#"{"workload":{"kind":"utsgen"}}"#).unwrap();
+        assert_eq!(d.workload, Workload::UtsGen(GenTree::geometric(1, 8, 6)), "defaults");
+        let b = JobSpec::parse(
+            r#"{"workload":{"kind":"utsgen","family":"binomial","seed":9,"b0":32,"m":4,"q":0.2}}"#,
+        )
+        .unwrap();
+        assert_eq!(b.workload, Workload::UtsGen(GenTree::binomial(9, 32, 4, 0.2)));
+    }
+
+    #[test]
+    fn rejects_malformed_utsgen_specs() {
+        for bad in [
+            r#"{"workload":{"kind":"utsgen","family":"exotic"}}"#,
+            r#"{"workload":{"kind":"utsgen","b0":4}}"#,
+            r#"{"workload":{"kind":"utsgen","family":"binomial","b_max":8}}"#,
+            r#"{"workload":{"kind":"utsgen","family":"binomial","q":0.3,"m":4}}"#,
+            r#"{"workload":{"kind":"utsgen","family":"binomial","q":1.5}}"#,
+            r#"{"workload":{"kind":"utsgen","family":"geometric","depth":65}}"#,
+            r#"{"workload":{"kind":"utsgen","q":"zero"}}"#,
+        ] {
+            let err = JobSpec::parse(bad).unwrap_err();
+            assert_eq!(err.kind(), "proto", "`{bad}` → {err}");
+        }
+    }
+
+    #[test]
+    fn a_preempted_utsgen_slice_parks_and_resumes_bit_identically() {
+        let spec = JobSpec::parse(
+            r#"{"workload":{"kind":"utsgen","family":"binomial","seed":13,"b0":48,"m":4,"q":0.21},"p":64}"#,
+        )
+        .unwrap();
+        let oracle = spec.oracle();
+
+        let signal = PreemptSignal::new();
+        signal.raise();
+        let (out, park) = spec.run_slice(None, &signal).unwrap();
+        assert!(out.killed);
+        let bytes = park.expect("parked slice yields snapshot bytes");
+
+        signal.clear();
+        let (resumed, park) = spec.run_slice(Some(&bytes), &signal).unwrap();
+        assert!(park.is_none());
+        assert_eq!(resumed, oracle);
+        assert_eq!(outcome_digest(&resumed), outcome_digest(&oracle));
     }
 
     #[test]

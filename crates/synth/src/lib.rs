@@ -35,6 +35,28 @@ pub fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Child identity as a chain keyed on `(parent id, child index)`: the
+/// parent is mixed *before* the index is folded in, so within one parent
+/// the chain is injective (`splitmix64` is a bijection, so
+/// `h(p) + i ≠ h(p) + j` for `i ≠ j`) and a cross-parent collision needs
+/// two independent hash outputs within fan-out distance of each other —
+/// a near-collision of the mixer, not an algebraic relation.
+#[inline]
+pub fn child_id(parent: u64, c: u32) -> u64 {
+    splitmix64(splitmix64(parent).wrapping_add(c as u64 + 1))
+}
+
+/// The pre-fix derivation, kept only as the regression target: hashing
+/// `parent ^ (c+1)·key` maps the shared id space through XOR, so for any
+/// parent `p` and child indices `c1 ≠ c2` the distinct node
+/// `(p ^ (c1+1)·key ^ (c2+1)·key, c2)` collides with `(p, c1)` exactly —
+/// identical ids replay identical subtrees (expansion depends only on the
+/// id once past the root). See `legacy_derivation_collides_and_chain_does_not`.
+#[inline]
+pub fn legacy_child_id(parent: u64, c: u32, key: u64) -> u64 {
+    splitmix64(parent ^ (c as u64 + 1).wrapping_mul(key))
+}
+
 /// A node of a synthetic tree: its hash identity and depth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SynthNode {
@@ -105,10 +127,7 @@ impl TreeProblem for BinomialTree {
             0
         };
         for c in 0..fanout {
-            out.push(SynthNode {
-                id: splitmix64(node.id ^ (c as u64 + 1).wrapping_mul(0xA24B_AED4_963E_E407)),
-                depth: node.depth + 1,
-            });
+            out.push(SynthNode { id: child_id(node.id, c), depth: node.depth + 1 });
         }
     }
 
@@ -155,10 +174,7 @@ impl TreeProblem for GeometricTree {
         }
         let fanout = (splitmix64(node.id) % (self.b_max as u64 + 1)) as u32;
         for c in 0..fanout {
-            out.push(SynthNode {
-                id: splitmix64(node.id ^ (c as u64 + 1).wrapping_mul(0x9FB2_1C65_1E98_DF25)),
-                depth: node.depth + 1,
-            });
+            out.push(SynthNode { id: child_id(node.id, c), depth: node.depth + 1 });
         }
     }
 
@@ -273,6 +289,40 @@ mod tests {
         assert!(st.w > 25_000 && st.w < 100_000, "w = {}", st.w);
         // And the generator regenerates the same W.
         assert_eq!(serial_dfs(&st.tree).expanded, st.w);
+    }
+
+    #[test]
+    fn legacy_derivation_collides_and_chain_does_not() {
+        // The constructed collision family of the old derivation: for any
+        // parent p and child indices (0, 1), the distinct parent
+        // p ^ 1·K ^ 2·K produces the *same* child id at index 1 that p
+        // produces at index 0 — two distinct tree positions with identical
+        // ids, which replay identical subtrees. The chained derivation
+        // must not satisfy the relation.
+        const K: u64 = 0x9FB2_1C65_1E98_DF25;
+        for p in [1u64, 42, 0xFEED_F00D, 0x0123_4567_89AB_CDEF] {
+            let p2 = p ^ K ^ 2u64.wrapping_mul(K);
+            assert_ne!(p, p2, "the constructed parents are distinct");
+            assert_eq!(
+                legacy_child_id(p, 0, K),
+                legacy_child_id(p2, 1, K),
+                "the legacy relation is the bug being pinned"
+            );
+            assert_ne!(child_id(p, 0), child_id(p2, 1), "chained ids must not collide");
+        }
+    }
+
+    #[test]
+    fn sibling_ids_never_collide() {
+        // Within one parent the chain is injective by construction
+        // (splitmix64 is a bijection); check a window anyway.
+        for p in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut ids: Vec<u64> = (0..64).map(|c| child_id(p, c)).collect();
+            let n = ids.len();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), n, "sibling collision under parent {p:#x}");
+        }
     }
 
     #[test]

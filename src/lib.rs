@@ -49,6 +49,7 @@
 //! | [`tree`] | problem traits, splittable stacks, DFS/IDA\*/DFBB (`uts-tree`) |
 //! | [`puzzle15`] | the 15-puzzle domain and benchmark instances (`uts-puzzle15`) |
 //! | [`synth`] | seeded synthetic unstructured trees (`uts-synth`) |
+//! | [`synthgen`] | hash-chained on-the-fly UTS generator trees (`uts-synthgen`) |
 //! | [`scan`] | Blelloch scans and rendezvous matching (`uts-scan`) |
 //! | [`mimd`] | asynchronous work-stealing baseline (`uts-mimd`) |
 //! | [`analysis`] | isoefficiency analysis, eq. 18, contour fits (`uts-analysis`) |
@@ -71,6 +72,7 @@ pub use uts_puzzle15 as puzzle15;
 pub use uts_scan as scan;
 pub use uts_serve as serve;
 pub use uts_synth as synth;
+pub use uts_synthgen as synthgen;
 pub use uts_tree as tree;
 pub use uts_viz as viz;
 
@@ -92,8 +94,11 @@ pub mod prelude {
 
     pub use uts_serve::{outcome_digest, JobServer, JobSpec, JobState, ServeConfig, ServeError};
 
+    pub use uts_synthgen::{find_gen_tree, GenFamily, GenNode, GenTree};
+
     pub use crate::{
-        analysis, ckpt, core, machine, mimd, net, par, problems, puzzle15, scan, serve, synth, tree,
+        analysis, ckpt, core, machine, mimd, net, par, problems, puzzle15, scan, serve, synth,
+        synthgen, tree,
     };
 }
 

@@ -27,6 +27,7 @@
 use proptest::prelude::*;
 use simd_tree_search::prelude::*;
 use simd_tree_search::synth::GeometricTree;
+use simd_tree_search::synthgen::GenTree;
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![
@@ -100,6 +101,32 @@ proptest! {
         assert_kill_resume_identical(&tree, &cfg, kill.kill_at_step);
     }
 
+    /// Generated (`uts-synthgen`) trees ride the same container: their
+    /// nodes are 12-byte `(state, depth)` records, so this doubles as a
+    /// differential for the fixed-width `GenNode` codec under every
+    /// engine × scheme × kill point. Both families are sampled
+    /// (subcritical binomial: q·m < 0.88).
+    #[test]
+    fn kill_resume_is_bit_identical_on_generated_trees(
+        gen_seed in 0u64..5000,
+        geometric in any::<bool>(),
+        scheme in arb_scheme(),
+        p_log in 0u32..7,
+        engine_idx in 0usize..4,
+        kill_seed in 0u64..1000,
+    ) {
+        let tree = if geometric {
+            GenTree::geometric(gen_seed, 6, 5)
+        } else {
+            GenTree::binomial(gen_seed, 12, 4, 0.21)
+        };
+        let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+            .with_ledger()
+            .with_engine(EngineKind::ALL[engine_idx]);
+        let kill = FaultPlan::seeded(kill_seed, 12);
+        assert_kill_resume_identical(&tree, &cfg, kill.kill_at_step);
+    }
+
     /// Every snapshot a run produces decodes and re-encodes bit-exactly.
     #[test]
     fn snapshots_round_trip_bit_exactly(
@@ -121,6 +148,32 @@ proptest! {
             prop_assert_eq!(decoded.step, snap.step);
             prop_assert_eq!(&decoded.encode(fp), &snap.bytes, "re-encode must be bit-equal");
         }
+    }
+}
+
+/// A generated-tree run's snapshots decode and re-encode bit-exactly:
+/// the 12-byte fixed-width `GenNode` record (`u64` chain state + `u32`
+/// depth) survives the container at every boundary of a real run.
+#[test]
+fn generated_tree_snapshots_round_trip_bit_exactly() {
+    type Node = <GenTree as TreeProblem>::Node;
+    let tree = GenTree::binomial(7, 24, 4, 0.2);
+    let cfg = EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()).with_ledger();
+    let armed = cfg.clone().with_checkpoint(CheckpointPolicy::every(1).and_on_trigger());
+    let out = run_with(&tree, &armed);
+    assert!(!out.killed);
+    let fp = config_fingerprint(&cfg);
+    let snaps = armed.checkpoint.as_ref().expect("armed").sink.taken();
+    assert!(!snaps.is_empty(), "the run must cross at least one boundary");
+    for snap in &snaps {
+        let decoded =
+            EngineSnapshot::<Node>::decode(&snap.bytes, fp).expect("own snapshot decodes");
+        assert_eq!(
+            decoded.encode(fp),
+            snap.bytes,
+            "step {}: re-encode must be bit-equal",
+            snap.step
+        );
     }
 }
 

@@ -17,6 +17,7 @@
 use proptest::prelude::*;
 use simd_tree_search::prelude::*;
 use simd_tree_search::synth::{BinomialTree, GeometricTree};
+use simd_tree_search::synthgen::GenTree;
 
 fn arb_scheme() -> impl Strategy<Value = Scheme> {
     prop_oneof![
@@ -33,6 +34,15 @@ fn arb_scheme() -> impl Strategy<Value = Scheme> {
 
 fn arb_split() -> impl Strategy<Value = SplitPolicy> {
     prop_oneof![Just(SplitPolicy::Bottom), Just(SplitPolicy::Half), Just(SplitPolicy::Top)]
+}
+
+/// Both `uts-synthgen` families, kept subcritical (q·m < 0.88) so every
+/// sampled binomial tree is finite.
+fn arb_gen_tree() -> impl Strategy<Value = GenTree> {
+    prop_oneof![
+        (0u64..5000, 2u32..9, 3u32..6).prop_map(|(s, b, d)| GenTree::geometric(s, b, d)),
+        (0u64..5000, 4u32..32, 0.05f64..0.22).prop_map(|(s, b0, q)| GenTree::binomial(s, b0, 4, q)),
+    ]
 }
 
 /// Run every non-reference engine through the [`run_with`] dispatcher and
@@ -130,6 +140,30 @@ proptest! {
             assert_eq!(par, serial, "{} threads={threads} min_work={min_work}", scheme.name());
         }
     }
+
+    /// Generated (`uts-synthgen`) trees: nodes are hash-chain states, not
+    /// stored boards, so this axis also differentials the on-the-fly
+    /// expansion against the reference oracle — both families, random
+    /// schemes × splits × machine sizes, plus worker counts {1, 2, 8}
+    /// against the serial macro engine.
+    #[test]
+    fn engines_identical_on_generated_trees(
+        tree in arb_gen_tree(),
+        scheme in arb_scheme(),
+        split in arb_split(),
+        p_log in 0u32..9,
+    ) {
+        let cfg = EngineConfig::new(1usize << p_log, scheme, CostModel::cm2())
+            .with_split(split)
+            .with_trace()
+            .with_ledger();
+        assert_all_engines_identical(&tree, &cfg);
+        let serial = run(&tree, &cfg);
+        for threads in [1usize, 2, 8] {
+            let par = run_par(&tree, &cfg.clone().with_threads(threads).with_fan_out_min_work(0));
+            assert_eq!(par, serial, "generated tree, threads={threads}");
+        }
+    }
 }
 
 /// Non-property spot check: every Table 1 scheme at P=256 through the
@@ -158,6 +192,31 @@ fn par_handles_the_init_phase_at_large_p() {
     for threads in [1usize, 2, 8] {
         let forced = cfg.clone().with_threads(threads).with_fan_out_min_work(0);
         assert_eq!(run_par(&tree, &forced), reference);
+    }
+}
+
+/// Large-W sweep (run with `--ignored`; roughly a minute of work): a
+/// target-sized multi-million-node generated tree through all four
+/// engines and worker counts {1, 2, 8}. The quick-tier fuzz above caps
+/// trees at a few thousand nodes, so this is the only in-repo proof that
+/// the hash-chain generation stays bit-identical deep into the steady
+/// state where balancing horizons span many cycles. (The committed
+/// `BENCH_workloads.json` extends the same identity to >= 10^8 nodes.)
+#[test]
+#[ignore = "large-W sweep; run with `cargo test -- --ignored`"]
+fn engines_identical_on_a_multimillion_node_generated_tree() {
+    let sized = simd_tree_search::synthgen::find_gen_tree(2_000_000, 0.3, 8);
+    let tree = sized.tree;
+    let cfg = EngineConfig::new(1024, Scheme::gp_dk(), CostModel::cm2()).with_ledger();
+    let reference = run_reference(&tree, &cfg);
+    assert_eq!(reference.report.nodes_expanded, sized.w, "anomaly-free contract");
+    for kind in [EngineKind::Fused, EngineKind::Macro, EngineKind::Par] {
+        let got = run_with(&tree, &cfg.clone().with_engine(kind));
+        assert_eq!(got, reference, "{} diverged at W={}", kind.name(), sized.w);
+    }
+    for threads in [1usize, 2, 8] {
+        let got = run_par(&tree, &cfg.clone().with_threads(threads));
+        assert_eq!(got, reference, "par threads={threads} diverged at W={}", sized.w);
     }
 }
 

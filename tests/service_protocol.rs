@@ -108,6 +108,26 @@ fn results_of_unfinished_jobs_are_not_ready() {
 }
 
 #[test]
+fn a_post_without_content_length_is_rejected_up_front() {
+    // A POST body without a `Content-Length` header is unreadable framing:
+    // the server used to default the length to 0, silently read an empty
+    // body, and fail later with a confusing "empty spec" parse error. It
+    // must instead reject the frame itself, naming the missing header.
+    let (server, dir) = start("no-length");
+    let addr = server.addr();
+    let frame = "POST /submit HTTP/1.1\r\nhost: x\r\nconnection: close\r\n\r\n\
+                 {\"workload\":{\"kind\":\"synth\",\"seed\":3}}";
+    let (status, body) = client::raw(addr, frame);
+    assert_rejection(status, &body, 400, "proto");
+    assert!(body.contains("content-length"), "the missing header is named: {body}");
+    // A GET without the header stays fine — there is no body to frame.
+    let (status, _) = client::get(addr, "/jobs");
+    assert_eq!(status, 200);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn oversized_bodies_are_refused_from_the_header_alone() {
     let (server, dir) = start("oversize");
     let addr = server.addr();
