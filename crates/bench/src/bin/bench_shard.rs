@@ -1,0 +1,308 @@
+//! Sharded-machine harness: drives the multi-process coordinator/worker
+//! machine (`uts-shard`) at ensemble sizes the in-process engines never
+//! see — the full run simulates **P = 1,048,576 PEs** — and records the
+//! measured interconnect routing next to the cost model's closed form.
+//! Writes `BENCH_shard.json` (current directory).
+//!
+//! ```text
+//! cargo run --release -p uts-bench --bin bench_shard -- [--quick] [--check] [--out PATH]
+//! ```
+//!
+//! Two claims, `--check` makes them gates:
+//!
+//! - **identity**: at small P the sharded outcome digests equal the
+//!   single-process macro engine across shard counts {1, 2, 4} for both
+//!   schemes (quick and full mode); in full mode the P = 2^20 GP leg is
+//!   additionally run at two shard counts and must digest equal.
+//! - **paper ordering**: with the donation ledger on, the GP (global
+//!   pointer) matching spreads donations more evenly than nGP — GP's
+//!   donation Gini stays below nGP's, reproducing the paper's GP-vs-nGP
+//!   contrast at a P the paper could only extrapolate to.
+//!
+//! Timings are provenance, not gates. Workers re-execute this binary, so
+//! `main` calls `maybe_run_worker()` before anything else.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use uts_core::{run, EngineConfig, Scheme};
+use uts_machine::CostModel;
+use uts_serve::outcome_digest;
+use uts_shard::{run_sharded, ShardOpts, ShardRun, ShardWorkload};
+use uts_synthgen::find_gen_tree;
+
+struct Leg {
+    label: String,
+    p: usize,
+    shards: usize,
+    scheme_name: String,
+    w: u64,
+    seconds: f64,
+    n_expand: u64,
+    n_lb: u64,
+    transfers: u64,
+    peak_stack_nodes: usize,
+    efficiency: f64,
+    routed_phases: usize,
+    messages: u64,
+    route_steps: u32,
+    route_max_hops: u32,
+    route_waits: u64,
+    lb_cost_closed_form: u64,
+    lb_cost_measured: u64,
+    donors: usize,
+    donation_max: u32,
+    max_over_mean: f64,
+    gini: f64,
+    digest: u64,
+}
+
+fn leg_from(label: String, cfg: &EngineConfig, shards: usize, sr: &ShardRun, seconds: f64) -> Leg {
+    let out = &sr.outcome;
+    let spread = out.ledger.as_ref().expect("ledger on").donation_spread();
+    Leg {
+        label,
+        p: cfg.p,
+        shards,
+        scheme_name: cfg.scheme.name(),
+        w: out.report.nodes_expanded,
+        seconds,
+        n_expand: out.report.n_expand,
+        n_lb: out.report.n_lb,
+        transfers: out.report.n_transfers,
+        peak_stack_nodes: out.peak_stack_nodes,
+        efficiency: out.report.efficiency,
+        routed_phases: sr.stats.phases.len(),
+        messages: sr.stats.phases.iter().map(|ph| ph.messages).sum(),
+        route_steps: sr.stats.route_total.steps,
+        route_max_hops: sr.stats.route_total.max_hops,
+        route_waits: sr.stats.route_total.waits,
+        lb_cost_closed_form: sr.stats.phases.iter().map(|ph| ph.closed_form.total).sum(),
+        lb_cost_measured: sr.stats.phases.iter().map(|ph| ph.measured.total).sum(),
+        donors: spread.donors,
+        donation_max: spread.max,
+        max_over_mean: spread.max_over_mean,
+        gini: spread.gini,
+        digest: outcome_digest(out),
+    }
+}
+
+fn main() {
+    uts_shard::maybe_run_worker();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_idx = args.iter().position(|a| a == "--out");
+    let out_path = out_idx
+        .map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("error: --out requires a path");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or_else(|| "BENCH_shard.json".to_string());
+    for (i, a) in args.iter().enumerate() {
+        if a != "--quick" && a != "--check" && a != "--out" && out_idx != Some(i.wrapping_sub(1)) {
+            eprintln!(
+                "error: unknown argument `{a}` (usage: bench_shard [--quick] [--check] [--out PATH])"
+            );
+            std::process::exit(2);
+        }
+    }
+
+    let mut legs: Vec<Leg> = Vec::new();
+    let mut identity_rows: Vec<String> = Vec::new();
+    let mut identity_ok = true;
+
+    // ---- identity sweep (both modes): sharded == macro at small P ----
+    let small = find_gen_tree(20_000, 0.2, 16);
+    eprintln!("identity tree: {} nodes (seed {})", small.w, small.tree.seed);
+    for scheme in [Scheme::gp_dk(), Scheme::ngp_dk()] {
+        let cfg = EngineConfig::new(256, scheme, CostModel::cm2()).with_ledger();
+        let want = outcome_digest(&run(&small.tree, &cfg));
+        for shards in [1usize, 2, 4] {
+            let opts = ShardOpts { shards, park: None, kill: None };
+            let sr =
+                run_sharded(&ShardWorkload::from(small.tree), &cfg, &opts).unwrap_or_else(|e| {
+                    eprintln!("sharded run failed: {e}");
+                    std::process::exit(1);
+                });
+            let got = outcome_digest(&sr.outcome);
+            let matches = got == want;
+            if !matches {
+                eprintln!(
+                    "IDENTITY FAIL {} shards={shards}: {got:#018x} != {want:#018x}",
+                    cfg.scheme.name()
+                );
+                identity_ok = false;
+            }
+            identity_rows.push(format!(
+                "{{\"scheme\": \"{}\", \"p\": 256, \"shards\": {shards}, \
+                 \"outcome_fnv\": \"{got:#018x}\", \"matches_macro\": {matches}}}",
+                cfg.scheme.name()
+            ));
+        }
+        eprintln!("identity {}: shards {{1,2,4}} == macro engine", cfg.scheme.name());
+    }
+
+    // ---- the headline legs: GP vs nGP donation spread at scale ----
+    let (p, shards, target) =
+        if quick { (4096usize, 4usize, 60_000u64) } else { (1usize << 20, 8usize, 4_000_000u64) };
+    eprintln!("sizing the headline tree (target {target} nodes, serial probes)...");
+    let big = find_gen_tree(target, 0.25, 24);
+    eprintln!("headline tree: {} nodes (seed {}), P = {p}, {shards} shards", big.w, big.tree.seed);
+
+    let mut digest_at_shards: Vec<(usize, u64)> = Vec::new();
+    for scheme in [Scheme::gp_dk(), Scheme::ngp_dk()] {
+        let cfg = EngineConfig::new(p, scheme, CostModel::cm2()).with_ledger();
+        let opts = ShardOpts { shards, park: None, kill: None };
+        let t0 = Instant::now();
+        let sr = run_sharded(&ShardWorkload::from(big.tree), &cfg, &opts).unwrap_or_else(|e| {
+            eprintln!("sharded run failed: {e}");
+            std::process::exit(1);
+        });
+        let seconds = t0.elapsed().as_secs_f64();
+        let leg = leg_from(format!("{}-P{p}", cfg.scheme.name()), &cfg, shards, &sr, seconds);
+        eprintln!(
+            "{:<14} W={} cycles={} phases={} transfers={} E={:.3} gini={:.3} \
+             route steps={} ({:.1}s)",
+            leg.label,
+            leg.w,
+            leg.n_expand,
+            leg.n_lb,
+            leg.transfers,
+            leg.efficiency,
+            leg.gini,
+            leg.route_steps,
+            seconds
+        );
+        if scheme == Scheme::gp_dk() {
+            digest_at_shards.push((shards, leg.digest));
+            // Shard-count invariance at full scale: rerun the GP leg at a
+            // different shard count and demand digest equality.
+            let alt = if quick { 2usize } else { 4 };
+            let alt_opts = ShardOpts { shards: alt, park: None, kill: None };
+            let t1 = Instant::now();
+            let sr2 =
+                run_sharded(&ShardWorkload::from(big.tree), &cfg, &alt_opts).unwrap_or_else(|e| {
+                    eprintln!("sharded rerun failed: {e}");
+                    std::process::exit(1);
+                });
+            let alt_seconds = t1.elapsed().as_secs_f64();
+            let leg2 = leg_from(
+                format!("{}-P{p}-s{alt}", cfg.scheme.name()),
+                &cfg,
+                alt,
+                &sr2,
+                alt_seconds,
+            );
+            if leg2.digest != leg.digest {
+                eprintln!(
+                    "IDENTITY FAIL at P={p}: {shards} shards {:#018x} != {alt} shards {:#018x}",
+                    leg.digest, leg2.digest
+                );
+                identity_ok = false;
+            } else {
+                eprintln!("shard-count invariance at P={p}: {shards} == {alt} shards");
+            }
+            digest_at_shards.push((alt, leg2.digest));
+            legs.push(leg2);
+        }
+        legs.push(leg);
+    }
+
+    let gp_gini = legs
+        .iter()
+        .find(|l| l.scheme_name == "GP-D^K" && l.shards == shards)
+        .map(|l| l.gini)
+        .expect("gp leg ran");
+    let ngp_gini =
+        legs.iter().find(|l| l.scheme_name == "nGP-D^K").map(|l| l.gini).expect("ngp leg ran");
+    let ordering_ok = gp_gini < ngp_gini;
+    eprintln!(
+        "donation spread at P={p}: GP gini {gp_gini:.4} vs nGP gini {ngp_gini:.4} -> {}",
+        if ordering_ok { "paper ordering holds" } else { "ORDERING VIOLATED" }
+    );
+
+    // ---- JSON ----
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"shard\",\n");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"headline_p\": {p},");
+    let _ = writeln!(json, "  \"headline_nodes\": {},", big.w);
+    json.push_str("  \"identity\": [\n");
+    for (i, row) in identity_rows.iter().enumerate() {
+        let comma = if i + 1 < identity_rows.len() { "," } else { "" };
+        let _ = writeln!(json, "    {row}{comma}");
+    }
+    json.push_str("  ],\n  \"legs\": [\n");
+    for (i, l) in legs.iter().enumerate() {
+        let comma = if i + 1 < legs.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"label\": \"{}\", \"scheme\": \"{}\", \"p\": {}, \"shards\": {}, \
+             \"w\": {}, \"seconds\": {:.3}, \"n_expand\": {}, \"n_lb\": {}, \"transfers\": {}, \
+             \"peak_stack_nodes\": {}, \"efficiency\": {:.6}, \"routed_phases\": {}, \
+             \"messages\": {}, \"route_steps\": {}, \"route_max_hops\": {}, \"route_waits\": {}, \
+             \"lb_cost_closed_form\": {}, \"lb_cost_measured\": {}, \
+             \"donation_spread\": {{\"donors\": {}, \"max\": {}, \"max_over_mean\": {:.4}, \
+             \"gini\": {:.6}}}, \"outcome_fnv\": \"{:#018x}\"}}{comma}",
+            l.label,
+            l.scheme_name,
+            l.p,
+            l.shards,
+            l.w,
+            l.seconds,
+            l.n_expand,
+            l.n_lb,
+            l.transfers,
+            l.peak_stack_nodes,
+            l.efficiency,
+            l.routed_phases,
+            l.messages,
+            l.route_steps,
+            l.route_max_hops,
+            l.route_waits,
+            l.lb_cost_closed_form,
+            l.lb_cost_measured,
+            l.donors,
+            l.donation_max,
+            l.max_over_mean,
+            l.gini,
+            l.digest
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"gp_gini\": {gp_gini:.6},");
+    let _ = writeln!(json, "  \"ngp_gini\": {ngp_gini:.6},");
+    let _ = writeln!(json, "  \"gp_spreads_thinner\": {ordering_ok}");
+    json.push_str("}\n");
+
+    match std::fs::write(&out_path, &json) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("could not write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if check {
+        let mut ok = true;
+        if !identity_ok {
+            eprintln!("CHECK FAIL: sharded outcomes diverged from the macro engine");
+            ok = false;
+        }
+        if !ordering_ok {
+            eprintln!("CHECK FAIL: GP gini {gp_gini:.4} !< nGP gini {ngp_gini:.4}");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        eprintln!(
+            "check passed: {} identity legs + shard-count invariance at P={p}, GP < nGP gini",
+            identity_rows.len()
+        );
+    }
+}

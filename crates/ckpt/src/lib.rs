@@ -39,6 +39,7 @@ use uts_tree::codec::{put_bool, put_u32, put_u64, put_usize};
 use uts_tree::{CkptNode, CodecError, Reader, SearchStack, StackArena};
 
 pub mod spill;
+pub mod wire;
 
 /// Leading bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"UTSCKPT\0";
@@ -473,6 +474,19 @@ pub enum StackSource<'a, N> {
     Frames(&'a [SearchStack<N>]),
     /// The dense arena the burst kernels run on, serialized in place.
     Arena(&'a StackArena<N>),
+    /// Stacks already in their encoded form: `bytes` is the concatenation
+    /// of the `p` per-PE encodings, each byte-identical to what
+    /// [`SearchStack`]'s codec (equivalently `StackArena::encode_pe`)
+    /// emits. This is how the sharded machine checkpoints — each worker
+    /// serializes its own PE range and the coordinator splices the
+    /// sections without ever decoding a node, so a shard snapshot is
+    /// indistinguishable from a single-process one.
+    Encoded {
+        /// Ensemble size `P` across all contributing shards.
+        p: usize,
+        /// Concatenated per-PE stack encodings, PE order.
+        bytes: &'a [u8],
+    },
 }
 
 impl<N> StackSource<'_, N> {
@@ -481,6 +495,7 @@ impl<N> StackSource<'_, N> {
         match self {
             StackSource::Frames(stacks) => stacks.len(),
             StackSource::Arena(arena) => arena.p(),
+            StackSource::Encoded { p, .. } => *p,
         }
     }
 }
@@ -558,6 +573,10 @@ impl<N: CkptNode> SnapshotView<'_, N> {
                 for i in 0..arena.p() {
                     arena.encode_pe(i, out);
                 }
+            }
+            StackSource::Encoded { p, bytes } => {
+                put_usize(out, *p);
+                out.extend_from_slice(bytes);
             }
         }
     }

@@ -1,0 +1,216 @@
+//! Adversarial robustness of the checkpoint wire format.
+//!
+//! The sharded machine trusts this codec for every coordinator/worker
+//! exchange, so a corrupted byte stream must never panic, hang, or decode
+//! to silently-wrong frames: every corruption maps to a *typed*
+//! `WireError`. These properties throw random frame streams at the codec
+//! and then truncate, bit-flip, reorder, and replay them, checking that
+//! the error surfaced is exactly the one the corruption geometry demands
+//! and that every frame decoded before the fault is byte-identical to
+//! what was sent.
+//!
+//! Committed counterexample states live in
+//! `proptest-regressions/wire_robustness.txt` and replay before the
+//! random cases.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+use uts_ckpt::wire::{
+    decode_frame, encode_frame, FrameReader, FrameWriter, WireError, FRAME_OVERHEAD, MAX_PAYLOAD,
+};
+
+/// A random stream: 1–7 frames of arbitrary tag and 0–47 payload bytes.
+fn arb_frames() -> impl Strategy<Value = Vec<(u8, Vec<u8>)>> {
+    collection::vec((0u8..=255, collection::vec(0u8..=255, 0usize..48)), 1usize..8)
+}
+
+/// Encode `frames` as one contiguous stream with sequence numbers 0, 1, …
+fn encode_stream(frames: &[(u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, (tag, payload)) in frames.iter().enumerate() {
+        encode_frame(&mut out, *tag, i as u64, payload);
+    }
+    out
+}
+
+/// Drain a byte stream through `FrameReader` until the first error,
+/// reading at most `max` frames (a bound, so a codec bug can't hang the
+/// test). Returns the intact prefix and the terminating error, if any.
+fn read_all(bytes: &[u8], max: usize) -> (Vec<(u8, Vec<u8>)>, Option<WireError>) {
+    let mut reader = FrameReader::new(Cursor::new(bytes));
+    let mut buf = Vec::new();
+    let mut got = Vec::new();
+    for _ in 0..max {
+        match reader.recv(&mut buf) {
+            Ok(tag) => got.push((tag, buf.clone())),
+            Err(e) => return (got, Some(e)),
+        }
+    }
+    (got, None)
+}
+
+/// Index of the frame whose encoding contains byte `idx` of the stream.
+fn frame_containing(frames: &[(u8, Vec<u8>)], idx: usize) -> usize {
+    let mut end = 0;
+    for (k, (_, payload)) in frames.iter().enumerate() {
+        end += FRAME_OVERHEAD + payload.len();
+        if idx < end {
+            return k;
+        }
+    }
+    unreachable!("byte index past the end of the stream");
+}
+
+proptest! {
+    /// `FrameWriter` → `FrameReader` is the identity on any stream: every
+    /// tag and payload round-trips, sequence numbers auto-chain from 0,
+    /// and reading past the end is a clean `Truncated`, not a hang.
+    #[test]
+    fn any_stream_round_trips(frames in arb_frames()) {
+        let mut bytes = Vec::new();
+        let mut writer = FrameWriter::new(&mut bytes);
+        for (i, (tag, payload)) in frames.iter().enumerate() {
+            prop_assert_eq!(writer.send(*tag, payload).unwrap(), i as u64);
+        }
+        drop(writer);
+        let (got, err) = read_all(&bytes, frames.len() + 1);
+        prop_assert_eq!(&got, &frames);
+        prop_assert_eq!(err, Some(WireError::Truncated), "EOF after the last frame");
+    }
+
+    /// Cutting the stream at *any* byte position yields the intact whole
+    /// frames before the cut and then exactly `Truncated` — never a panic,
+    /// a partial frame, or an unbounded read.
+    #[test]
+    fn any_truncation_is_typed(frames in arb_frames(), cut_frac in 0.0f64..1.0) {
+        let bytes = encode_stream(&frames);
+        let cut = ((cut_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        let whole = {
+            // How many whole frames fit in the first `cut` bytes?
+            let mut fit = 0;
+            let mut end = 0;
+            for (_, payload) in &frames {
+                end += FRAME_OVERHEAD + payload.len();
+                if end <= cut {
+                    fit += 1;
+                }
+            }
+            fit
+        };
+        let (got, err) = read_all(&bytes[..cut], frames.len() + 1);
+        prop_assert_eq!(got.len(), whole);
+        prop_assert_eq!(&got[..], &frames[..whole]);
+        prop_assert_eq!(err, Some(WireError::Truncated));
+    }
+
+    /// Flipping any single bit anywhere in the stream is detected at the
+    /// frame that contains it: every earlier frame decodes byte-identical,
+    /// and the fault surfaces as one of the three errors its position can
+    /// produce (checksum for tag/seq/payload/checksum bytes, `TooLarge`
+    /// for the length field's high bits, `Truncated` when an inflated
+    /// length reads past the end). Never `Ok`, never a panic.
+    #[test]
+    fn any_single_bit_flip_is_detected(
+        frames in arb_frames(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u32..8,
+    ) {
+        let mut bytes = encode_stream(&frames);
+        let idx = ((pos_frac * bytes.len() as f64) as usize).min(bytes.len() - 1);
+        bytes[idx] ^= 1 << bit;
+        let k = frame_containing(&frames, idx);
+        let (got, err) = read_all(&bytes, frames.len() + 1);
+        prop_assert_eq!(got.len(), k, "corruption in frame {} must stop the stream there", k);
+        prop_assert_eq!(&got[..], &frames[..k]);
+        match err {
+            Some(WireError::ChecksumMismatch) | Some(WireError::Truncated) => {}
+            Some(WireError::TooLarge(len)) => prop_assert!(len > MAX_PAYLOAD),
+            other => prop_assert!(false, "bit flip produced {:?}, not a corruption error", other),
+        }
+    }
+
+    /// Swapping two intact frames (a delayed/overtaken message) is caught
+    /// by sequence chaining: the reader accepts the prefix before the
+    /// first displaced frame, then reports exactly which sequence number
+    /// it expected and which arrived. Checksums pass — only ordering fails.
+    #[test]
+    fn swapped_frames_yield_out_of_order(
+        frames in collection::vec((0u8..=255, collection::vec(0u8..=255, 0usize..48)), 2usize..8),
+        ra in 0u64..1_000_000,
+        rb in 0u64..1_000_000,
+    ) {
+        let n = frames.len();
+        let a = (ra % (n as u64 - 1)) as usize;
+        let b = a + 1 + (rb % (n - 1 - a) as u64) as usize;
+        let mut chunks: Vec<Vec<u8>> = frames
+            .iter()
+            .enumerate()
+            .map(|(i, (tag, payload))| {
+                let mut c = Vec::new();
+                encode_frame(&mut c, *tag, i as u64, payload);
+                c
+            })
+            .collect();
+        chunks.swap(a, b);
+        let bytes: Vec<u8> = chunks.concat();
+        let (got, err) = read_all(&bytes, n + 1);
+        prop_assert_eq!(got.len(), a);
+        prop_assert_eq!(&got[..], &frames[..a]);
+        prop_assert_eq!(
+            err,
+            Some(WireError::OutOfOrder { expected: a as u64, found: b as u64 })
+        );
+    }
+
+    /// Replaying a frame (a duplicated message) is also an ordering
+    /// fault: the duplicate carries an already-consumed sequence number.
+    #[test]
+    fn replayed_frame_yields_out_of_order(frames in arb_frames(), rk in 0u64..1_000_000) {
+        let n = frames.len();
+        let k = (rk % n as u64) as usize;
+        let mut bytes = Vec::new();
+        for (i, (tag, payload)) in frames.iter().enumerate() {
+            encode_frame(&mut bytes, *tag, i as u64, payload);
+            if i == k {
+                encode_frame(&mut bytes, *tag, i as u64, payload); // replay
+            }
+        }
+        let (got, err) = read_all(&bytes, n + 2);
+        prop_assert_eq!(got.len(), k + 1, "frames through the original are accepted");
+        prop_assert_eq!(
+            err,
+            Some(WireError::OutOfOrder { expected: k as u64 + 1, found: k as u64 })
+        );
+    }
+
+    /// `decode_frame` on arbitrary bytes never panics, and whenever it
+    /// does accept a frame, re-encoding that frame reproduces exactly the
+    /// consumed prefix — decoding is a partial inverse of encoding, so a
+    /// decoded frame can always be forwarded verbatim.
+    #[test]
+    fn decode_is_total_and_a_partial_inverse(
+        garbage in collection::vec(0u8..=255, 0usize..64),
+        tag in 0u8..=255,
+        seq in 0u64..u64::MAX,
+        payload in collection::vec(0u8..=255, 0usize..48),
+    ) {
+        // Pure garbage: must return a typed error or a self-consistent frame.
+        if let Ok((f, used)) = decode_frame(&garbage) {
+            let mut re = Vec::new();
+            encode_frame(&mut re, f.tag, f.seq, f.payload);
+            prop_assert_eq!(&re[..], &garbage[..used]);
+        }
+        // A valid frame followed by arbitrary trailing bytes: the frame
+        // decodes intact and `used` points exactly at the tail.
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, tag, seq, &payload);
+        let frame_len = bytes.len();
+        bytes.extend_from_slice(&garbage);
+        let (f, used) = decode_frame(&bytes).expect("a valid frame ignores its tail");
+        prop_assert_eq!(used, frame_len);
+        prop_assert_eq!(f.tag, tag);
+        prop_assert_eq!(f.seq, seq);
+        prop_assert_eq!(f.payload, &payload[..]);
+    }
+}

@@ -9,6 +9,7 @@ use uts_mimd::{run_mimd, MimdConfig, StealPolicy};
 use uts_par::deque_dfs;
 use uts_problems::{random_3sat, Dpll, NQueens};
 use uts_puzzle15::Puzzle15;
+use uts_shard::{resume_sharded, run_sharded, ParkPolicy, ShardOpts, ShardWorkload, WorkerKill};
 use uts_tree::ida::ida_star;
 use uts_tree::problem::BoundedProblem;
 use uts_tree::serial_dfs;
@@ -191,6 +192,76 @@ pub fn resume(flags: &Flags) -> Result<(), String> {
     .map_err(|e| format!("{path}: {e}"))?;
     print_outcome(&setup.cfg, &setup.workload.describe(), &out);
     Ok(())
+}
+
+/// `sts shard`: the same search as `sts run`, executed by the
+/// multi-process sharded machine — `--shards N` worker processes each own
+/// a contiguous slab of PEs and the coordinator serializes every
+/// balancing phase, so the outcome is bit-identical to `sts run` with the
+/// macro engine. `--spill-dir DIR --park-every N` parks whole-machine
+/// snapshots at boundaries (the recovery path after a worker dies);
+/// `--snapshot PATH` resumes one, at any shard count.
+pub fn shard(flags: &Flags) -> Result<(), String> {
+    let setup = simd_setup(flags)?;
+    if setup.cfg.checkpoint.is_some() {
+        return Err("sts shard parks at the coordinator: use --spill-dir DIR --park-every N \
+             instead of --checkpoint-*"
+            .into());
+    }
+    let shards = flags.get_parsed("shards", 4usize)?;
+    let mut opts = ShardOpts { shards, park: None, kill: None };
+    let every = flags.get_parsed("park-every", 0u64)?;
+    if every > 0 {
+        let dir = flags.get("spill-dir").ok_or("--park-every needs --spill-dir DIR")?;
+        opts.park = Some(ParkPolicy { dir: dir.into(), every });
+    }
+    let kill_at = flags.get_parsed("worker-kill-at", 0u64)?;
+    if kill_at > 0 {
+        opts.kill = Some(WorkerKill {
+            shard: flags.get_parsed("worker-kill-shard", 0usize)?,
+            at_burst: kill_at,
+        });
+    }
+    let workload = match &setup.workload {
+        SimdWorkload::Puzzle { puzzle, bound } => {
+            ShardWorkload::Puzzle { board: puzzle.start().0, bound: *bound }
+        }
+        SimdWorkload::UtsGen(tree) => ShardWorkload::UtsGen(*tree),
+    };
+    let snapshot = match flags.get("snapshot") {
+        Some(path) => Some(std::fs::read(path).map_err(|e| format!("--snapshot {path}: {e}"))?),
+        None => None,
+    };
+    let sharded = match &snapshot {
+        Some(bytes) => resume_sharded(&workload, &setup.cfg, &opts, bytes),
+        None => run_sharded(&workload, &setup.cfg, &opts),
+    }
+    .map_err(|e| match e {
+        uts_shard::ShardError::WorkerLost { .. } if opts.park.is_some() => {
+            format!("{e}\nresume from the newest .park in the spill dir with --snapshot")
+        }
+        other => other.to_string(),
+    })?;
+    print_outcome(&setup.cfg, &setup.workload.describe(), &sharded.outcome);
+    print_shard_stats(&sharded.stats);
+    Ok(())
+}
+
+fn print_shard_stats(stats: &uts_shard::ShardStats) {
+    println!("-- sharded machine ({} worker processes) --", stats.shards);
+    let messages: u64 = stats.phases.iter().map(|ph| ph.messages).sum();
+    println!(
+        "routed phases : {} ({} transfers routed through the interconnect)",
+        stats.phases.len(),
+        messages
+    );
+    println!(
+        "route (meas.) : {} router steps, max hops {}, waits {}",
+        stats.route_total.steps, stats.route_total.max_hops, stats.route_total.waits
+    );
+    let closed: u64 = stats.phases.iter().map(|ph| ph.closed_form.total).sum();
+    let measured: u64 = stats.phases.iter().map(|ph| ph.measured.total).sum();
+    println!("lb cost       : closed-form {closed} us vs route-measured {measured} us");
 }
 
 /// `sts mimd`: asynchronous work stealing on the same workload.

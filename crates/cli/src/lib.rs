@@ -22,6 +22,10 @@ USAGE:
               [--engine E] [--checkpoint-dir DIR] [--checkpoint-every N]
               [--kill-at K] [--workload puzzle15|utsgen]  parallel SIMD search
   sts resume  --snapshot PATH [same flags as run]        resume from a checkpoint
+  sts shard   [--shards N] [--spill-dir DIR] [--park-every N]
+              [--worker-kill-at K [--worker-kill-shard S]]
+              [--snapshot PATH] [workload/config flags as run]
+                                                         multi-process sharded machine
   sts mimd    [--p P] [--policy grr|arr|rp|nn] [--seed S] [--walk N]
                                                          MIMD work stealing
   sts queens  [--n N] [--p P]                            N-queens on all engines
@@ -47,6 +51,20 @@ Galton–Watson tree instead of a 15-puzzle iteration. `--family geometric`
 `--seed S --b0 B --m M --q Q` with q*m < 1 (subcritical). Nodes are derived
 from a hash-chained RNG state, so memory stays O(live stacks) no matter
 how large the tree is.
+
+Sharding: `sts shard --shards N` runs the identical search across N worker
+processes, each owning a contiguous slab of PEs, with the coordinator
+serializing every balancing phase over the checkpoint wire format — the
+outcome is bit-identical to `sts run` at any N, and every balancing phase
+additionally carries *measured* interconnect routing next to the cost
+model's closed form. `--spill-dir DIR --park-every N` parks whole-machine
+snapshots at macro-step boundaries; after a crash (or `--worker-kill-at K`,
+which SIGKILLs one worker mid-run for drills), `sts shard --snapshot
+DIR/job-....park` resumes bit-identically — the parked format is the
+ordinary checkpoint format, so `sts resume` accepts it too. Example:
+
+  sts shard --shards 8 --p 1048576 --workload utsgen --b-max 8 --depth 12 \\
+            --scheme gp-dk --ledger true
 
 Serving: `sts serve` runs a job server. POST a spec like
 `{\"workload\":{\"kind\":\"synth\",\"seed\":1},\"p\":256,\"scheme\":\"gp-dk\"}` to

@@ -3,6 +3,10 @@
 use uts_cli::{commands, Flags, USAGE};
 
 fn main() {
+    // `sts shard` spawns workers by re-executing this binary; if this
+    // process *is* a worker, serve the wire protocol and exit.
+    uts_shard::maybe_run_worker();
+
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
         eprint!("{USAGE}");
@@ -12,6 +16,7 @@ fn main() {
         "solve" => commands::solve(&flags),
         "run" => commands::run_simd(&flags),
         "resume" => commands::resume(&flags),
+        "shard" => commands::shard(&flags),
         "mimd" => commands::run_mimd_cmd(&flags),
         "queens" => commands::queens(&flags),
         "sat" => commands::sat(&flags),

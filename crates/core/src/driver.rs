@@ -1,0 +1,478 @@
+//! The macro-step loop as a coordinator-side state machine.
+//!
+//! [`crate::macrostep::run`] owns everything: the stacks, the machine
+//! accounting, the trigger, the balancing phase. A *sharded* machine
+//! (`uts-shard`) splits that ownership — worker processes hold the stacks
+//! and run the search-phase bursts, while one coordinator owns the
+//! lockstep schedule: the horizon, the [`uts_machine::SimdMachine`]
+//! accounting, the trigger decision, the matcher, the ledger, and the
+//! balancing phase (driven through a [`StackStore`] whose splits happen
+//! remotely). [`LockstepDriver`] is that coordinator half, factored out of
+//! the macro engine so the two cannot drift: it calls the *same*
+//! `compute_horizon`, `checkpoint_trigger` and `balancing_phase` the
+//! in-process engines call, in the same order, on the same operands — the
+//! per-PE length census is the only input, and the census a worker reports
+//! after running [`crate::engine::expansion_burst`] over its slab is
+//! bit-identical to the one the macro engine would have computed in
+//! process. See DESIGN.md §13 for the full determinism argument.
+//!
+//! # Protocol
+//!
+//! One macro step, driven by the caller (lens = the caller-maintained
+//! dense length mirror, updated from worker burst reports):
+//!
+//! 1. [`LockstepDriver::horizon`] — compute the event horizon `h`.
+//! 2. Run the burst of `h` cycles on every active PE (remotely), merge the
+//!    per-worker census into a [`MergedBurst`].
+//! 3. [`LockstepDriver::absorb_burst`] — machine accounting, stop checks
+//!    and trigger evaluation. On [`StepStatus::Continue`] with
+//!    `fired == true` the caller **must** call [`LockstepDriver::balance`]
+//!    next (the ledger recorder is armed and must be settled).
+//! 4. [`LockstepDriver::finish_boundary`] — count the macro-step boundary;
+//!    snapshot via [`LockstepDriver::snapshot`] if the caller's policy
+//!    wants it.
+//!
+//! On [`StepStatus::Done`], call [`LockstepDriver::finish`] for the
+//! [`Outcome`].
+
+use uts_machine::SimdMachine;
+use uts_tree::CkptNode;
+
+use crate::ckpt::{capture, config_fingerprint};
+use crate::engine::{
+    balancing_phase, checkpoint_trigger, machine_report, EngineConfig, LbBuffers, LedgerRecorder,
+    MacroStep, Outcome,
+};
+use crate::matcher::MatchState;
+use crate::store::StackStore;
+
+/// The merged census of one search-phase burst across all workers.
+#[derive(Debug, Clone, Default)]
+pub struct MergedBurst {
+    /// PEs that entered the burst (sum of per-worker started counts; must
+    /// equal the driver's active count).
+    pub started: usize,
+    /// Goal nodes found during the burst (sum of per-worker deltas).
+    pub goals: u64,
+    /// Largest stack observed during the burst (max of per-worker peaks).
+    pub peak_stack_nodes: usize,
+    /// Burst lengths of PEs that drained mid-burst, concatenated across
+    /// workers in any order (the driver sorts). Empty when `h == 1`.
+    pub deaths: Vec<u64>,
+}
+
+/// What the driver decided at the end of [`LockstepDriver::absorb_burst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepStatus {
+    /// The run is over (goal stop, budget, or space exhausted); call
+    /// [`LockstepDriver::finish`].
+    Done,
+    /// The run continues. When `fired`, the trigger fired effectively and
+    /// the caller must run [`LockstepDriver::balance`] before the next
+    /// step.
+    Continue {
+        /// The trigger fired; a balancing phase must run now.
+        fired: bool,
+    },
+}
+
+/// Coordinator half of the macro-step engine: everything except the
+/// stacks. See the module docs for the step protocol.
+pub struct LockstepDriver {
+    cfg: EngineConfig,
+    fingerprint: u64,
+    machine: SimdMachine,
+    matcher: MatchState,
+    recorder: Option<LedgerRecorder>,
+    donations: Vec<u32>,
+    goals: u64,
+    peak_stack_nodes: usize,
+    in_init: bool,
+    macro_steps: Vec<MacroStep>,
+    /// Dense sorted list of PEs holding work (same invariants as the
+    /// in-process engines' list).
+    active: Vec<usize>,
+    busy_count: usize,
+    /// `P - active.len()` captured at the trigger checkpoint, consumed by
+    /// the balancing phase of the same step.
+    idle_at_checkpoint: usize,
+    size_hist: Vec<u32>,
+    count_ge: Vec<u32>,
+    lb: LbBuffers,
+    /// Macro-step boundaries completed (1-based snapshot numbering, same
+    /// as the engines' checkpoint hook).
+    step: u64,
+    truncated: bool,
+}
+
+impl LockstepDriver {
+    /// Driver for a fresh run: PE 0 holds the root (the caller seeds it in
+    /// whichever worker owns PE 0), everything else idle — exactly the
+    /// in-process engines' initial state.
+    pub fn fresh(cfg: &EngineConfig) -> Self {
+        assert!(cfg.p > 0, "need at least one processor");
+        let mut machine = SimdMachine::new(cfg.p, cfg.cost);
+        machine.record_active_trace(cfg.record_trace);
+        Self {
+            cfg: cfg.clone(),
+            fingerprint: config_fingerprint(cfg),
+            machine,
+            matcher: MatchState::new(cfg.scheme.matching),
+            recorder: cfg.record_ledger.then(|| LedgerRecorder::new(cfg.p)),
+            donations: vec![0u32; cfg.p],
+            goals: 0,
+            peak_stack_nodes: 1,
+            in_init: cfg.init_fraction.is_some(),
+            macro_steps: Vec::new(),
+            active: vec![0],
+            busy_count: 0,
+            idle_at_checkpoint: 0,
+            size_hist: Vec::new(),
+            count_ge: Vec::new(),
+            lb: LbBuffers::default(),
+            step: 0,
+            truncated: false,
+        }
+    }
+
+    /// Driver restored from a decoded snapshot — the coordinator-side
+    /// mirror of [`crate::ckpt::resume_with`]'s state rebuild (the stacks
+    /// themselves go back to the workers; the active list is derived from
+    /// their lengths here, identically to the in-process resume).
+    ///
+    /// # Panics
+    /// Panics if the snapshot's machine size or ledger presence
+    /// contradicts `cfg` (impossible for snapshots decoded against this
+    /// config's fingerprint).
+    pub fn restore<N: CkptNode>(
+        cfg: &EngineConfig,
+        snapshot: &uts_ckpt::EngineSnapshot<N>,
+    ) -> Self {
+        assert_eq!(snapshot.p(), cfg.p, "snapshot machine size differs from the resuming config");
+        assert_eq!(
+            snapshot.recorder.is_some(),
+            cfg.record_ledger,
+            "snapshot ledger presence differs from the resuming config"
+        );
+        let active: Vec<usize> = (0..cfg.p).filter(|&i| !snapshot.stacks[i].is_empty()).collect();
+        Self {
+            cfg: cfg.clone(),
+            fingerprint: config_fingerprint(cfg),
+            machine: snapshot.machine.clone().restore(cfg.p, cfg.cost),
+            matcher: MatchState::restore(cfg.scheme.matching, snapshot.global_pointer),
+            recorder: snapshot
+                .recorder
+                .as_ref()
+                .map(|r| LedgerRecorder::restore(r.receipts.clone(), r.phases.clone())),
+            donations: snapshot.donations.clone(),
+            goals: snapshot.goals,
+            peak_stack_nodes: snapshot.peak_stack_nodes,
+            in_init: snapshot.in_init,
+            macro_steps: snapshot
+                .macro_steps
+                .iter()
+                .map(|&(start_cycle, horizon, ran)| MacroStep { start_cycle, horizon, ran })
+                .collect(),
+            active,
+            busy_count: 0,
+            idle_at_checkpoint: 0,
+            size_hist: Vec::new(),
+            count_ge: Vec::new(),
+            lb: LbBuffers::default(),
+            step: snapshot.step,
+            truncated: false,
+        }
+    }
+
+    /// The event horizon of the next macro step. `lens` is the dense
+    /// length mirror (all `P` entries).
+    pub fn horizon(&mut self, lens: &[u32]) -> u64 {
+        debug_assert_eq!(lens.len(), self.cfg.p);
+        crate::macrostep::compute_horizon(
+            &self.cfg,
+            &self.machine,
+            lens,
+            self.active.len(),
+            self.in_init,
+            &mut self.size_hist,
+            &mut self.count_ge,
+        )
+    }
+
+    /// Account one completed burst of horizon `h` and evaluate the stop
+    /// checks and the trigger — the checkpoint tail of the macro-step
+    /// loop. `lens` is the *post-burst* length mirror.
+    pub fn absorb_burst(&mut self, h: u64, lens: &[u32], mut burst: MergedBurst) -> StepStatus {
+        debug_assert_eq!(lens.len(), self.cfg.p);
+        debug_assert_eq!(burst.started, self.active.len(), "every active PE runs the burst");
+        let start_cycle = self.machine.metrics().n_expand;
+        self.goals += burst.goals;
+        self.peak_stack_nodes = self.peak_stack_nodes.max(burst.peak_stack_nodes);
+        // Post-burst census: filtering the sorted active list by the fresh
+        // lengths reproduces the in-process engines' in-place compaction.
+        self.active.retain(|&i| lens[i] > 0);
+        self.busy_count = self.active.iter().filter(|&&i| lens[i] >= 2).count();
+        let ran;
+        if h == 1 {
+            debug_assert!(burst.deaths.is_empty(), "single cycles report no deaths");
+            self.machine.expansion_cycle(burst.started);
+            ran = 1;
+        } else {
+            burst.deaths.sort_unstable();
+            ran = if self.active.is_empty() {
+                *burst.deaths.last().expect("had active PEs")
+            } else {
+                h
+            };
+            self.machine.expansion_cycles_with_deaths(burst.started, ran, &burst.deaths);
+        }
+        if self.cfg.record_horizons {
+            self.macro_steps.push(MacroStep { start_cycle, horizon: h, ran });
+        }
+
+        if self.cfg.stop_on_goal && self.goals > 0 {
+            return StepStatus::Done;
+        }
+        if self.cfg.max_cycles.is_some_and(|m| self.machine.metrics().n_expand >= m) {
+            self.truncated = true;
+            return StepStatus::Done;
+        }
+        if self.active.is_empty() {
+            return StepStatus::Done;
+        }
+
+        self.idle_at_checkpoint = self.cfg.p - self.active.len();
+        let fired = checkpoint_trigger(
+            &self.cfg,
+            &self.machine,
+            &mut self.in_init,
+            self.busy_count,
+            self.idle_at_checkpoint,
+            h,
+            &mut self.recorder,
+        );
+        StepStatus::Continue { fired }
+    }
+
+    /// Run the balancing phase the last [`LockstepDriver::absorb_burst`]
+    /// fired, over `store` (remote for a sharded machine). Must be called
+    /// exactly when `absorb_burst` returned `fired == true`.
+    pub fn balance<S: StackStore>(&mut self, store: &mut S) {
+        balancing_phase(
+            &self.cfg,
+            &mut self.machine,
+            &mut self.matcher,
+            store,
+            &mut self.active,
+            &mut self.busy_count,
+            &mut self.donations,
+            &mut self.lb,
+            self.idle_at_checkpoint,
+            &mut self.peak_stack_nodes,
+            &mut self.recorder,
+        );
+    }
+
+    /// Count a completed macro-step boundary; returns its 1-based number
+    /// (the same numbering the engines' checkpoint hook uses for
+    /// `ckpt-{step:08}.bin` names).
+    pub fn finish_boundary(&mut self) -> u64 {
+        self.step += 1;
+        self.step
+    }
+
+    /// Macro-step boundaries completed so far.
+    pub fn step(&self) -> u64 {
+        self.step
+    }
+
+    /// Encode a full engine snapshot of the current boundary.
+    /// `stack_bytes` is the concatenation, in PE order, of every PE's
+    /// stack encoding (the workers produce these with
+    /// [`uts_tree::StackArena::encode_pe`]; byte-identical to the
+    /// in-process [`uts_ckpt::StackSource::Arena`] capture, so sharded
+    /// and single-process snapshots are interchangeable).
+    pub fn snapshot(&self, stack_bytes: &[u8]) -> Vec<u8> {
+        let stacks: uts_ckpt::StackSource<'_, u64> =
+            uts_ckpt::StackSource::Encoded { p: self.cfg.p, bytes: stack_bytes };
+        capture(
+            self.step,
+            self.fingerprint,
+            self.in_init,
+            self.goals,
+            &self.donations,
+            self.peak_stack_nodes,
+            &self.matcher,
+            &self.machine,
+            self.recorder.as_ref(),
+            &self.macro_steps,
+            stacks,
+        )
+    }
+
+    /// Sorted list of PEs currently holding work.
+    pub fn active(&self) -> &[usize] {
+        &self.active
+    }
+
+    /// Goal nodes found so far.
+    pub fn goals(&self) -> u64 {
+        self.goals
+    }
+
+    /// Lockstep cycles executed so far (`N_expand`).
+    pub fn cycles(&self) -> u64 {
+        self.machine.metrics().n_expand
+    }
+
+    /// Close out the run. `killed` distinguishes a coordinator that parked
+    /// (worker loss with a recoverable spill) from a completed run, with
+    /// the same semantics as [`Outcome::killed`].
+    pub fn finish(self, killed: bool) -> Outcome {
+        let report = machine_report(self.machine);
+        let ledger = self.recorder.map(|r| r.finish(&self.donations));
+        Outcome {
+            report,
+            goals: self.goals,
+            truncated: self.truncated,
+            killed,
+            donations: self.donations,
+            peak_stack_nodes: self.peak_stack_nodes,
+            macro_steps: self.macro_steps,
+            ledger,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! The driver *is* the macro engine minus the stacks: drive it with an
+    //! in-process [`StackArena`] + [`expansion_burst`] and the outcome
+    //! must be bit-identical to [`crate::macrostep::run`]. This is the
+    //! single-process version of the sharded differential suite.
+    use super::*;
+    use crate::engine::expansion_burst;
+    use crate::scheme::Scheme;
+    use uts_machine::CostModel;
+    use uts_synth::GeometricTree;
+    use uts_tree::{SearchStack, StackArena, TreeProblem};
+
+    fn drive<P: TreeProblem>(problem: &P, cfg: &EngineConfig) -> Outcome {
+        let mut driver = LockstepDriver::fresh(cfg);
+        let mut stacks: Vec<SearchStack<P::Node>> =
+            (0..cfg.p).map(|_| SearchStack::new()).collect();
+        stacks[0] = SearchStack::from_root(problem.root());
+        let mut arena = StackArena::from_stacks(stacks);
+        let mut active: Vec<usize> = vec![0];
+        let mut deaths = Vec::new();
+        loop {
+            let h = driver.horizon(arena.lens());
+            let mut goals = 0u64;
+            let mut peak = 0usize;
+            let stats = expansion_burst(
+                problem,
+                &mut arena,
+                &mut active,
+                h,
+                &mut goals,
+                &mut peak,
+                &mut deaths,
+            );
+            let burst = MergedBurst {
+                started: stats.started,
+                goals,
+                peak_stack_nodes: peak,
+                deaths: std::mem::take(&mut deaths),
+            };
+            match driver.absorb_burst(h, arena.lens(), burst) {
+                StepStatus::Done => break,
+                StepStatus::Continue { fired } => {
+                    if fired {
+                        driver.balance(&mut arena);
+                        // Balancing feeds idle PEs: resync our local active
+                        // list from the census (the driver keeps its own).
+                        active.clear();
+                        active.extend((0..cfg.p).filter(|&i| arena.lens()[i] > 0));
+                    }
+                    driver.finish_boundary();
+                }
+            }
+        }
+        driver.finish(false)
+    }
+
+    #[test]
+    fn driver_reproduces_the_macro_engine_bit_for_bit() {
+        let tree = GeometricTree { seed: 11, b_max: 8, depth_limit: 7 };
+        for scheme in [
+            Scheme::gp_dk(),
+            Scheme::ngp_dk(),
+            Scheme::gp_static(0.75),
+            Scheme::gp_dp(),
+            Scheme::fess(),
+            Scheme::fegs(),
+        ] {
+            let cfg = EngineConfig::new(64, scheme, CostModel::cm2())
+                .with_ledger()
+                .with_horizon_log()
+                .with_trace();
+            let want = crate::macrostep::run(&tree, &cfg);
+            let got = drive(&tree, &cfg);
+            assert_eq!(got, want, "{}", scheme.name());
+        }
+    }
+
+    #[test]
+    fn driver_snapshot_resumes_under_the_macro_engine() {
+        let tree = GeometricTree { seed: 5, b_max: 8, depth_limit: 6 };
+        let cfg = EngineConfig::new(32, Scheme::gp_dk(), CostModel::cm2()).with_ledger();
+        let want = crate::macrostep::run(&tree, &cfg);
+
+        // Drive three steps, snapshot, then hand the snapshot to the
+        // ordinary in-process resume path.
+        let mut driver = LockstepDriver::fresh(&cfg);
+        let mut stacks: Vec<SearchStack<_>> = (0..cfg.p).map(|_| SearchStack::new()).collect();
+        stacks[0] = SearchStack::from_root(tree.root());
+        let mut arena = StackArena::from_stacks(stacks);
+        let mut active: Vec<usize> = vec![0];
+        let mut deaths = Vec::new();
+        for _ in 0..3 {
+            let h = driver.horizon(arena.lens());
+            let mut goals = 0u64;
+            let mut peak = 0usize;
+            let stats = expansion_burst(
+                &tree,
+                &mut arena,
+                &mut active,
+                h,
+                &mut goals,
+                &mut peak,
+                &mut deaths,
+            );
+            let burst = MergedBurst {
+                started: stats.started,
+                goals,
+                peak_stack_nodes: peak,
+                deaths: std::mem::take(&mut deaths),
+            };
+            match driver.absorb_burst(h, arena.lens(), burst) {
+                StepStatus::Done => panic!("run too short for the test"),
+                StepStatus::Continue { fired } => {
+                    if fired {
+                        driver.balance(&mut arena);
+                        active.clear();
+                        active.extend((0..cfg.p).filter(|&i| arena.lens()[i] > 0));
+                    }
+                    driver.finish_boundary();
+                }
+            }
+        }
+        let mut stack_bytes = Vec::new();
+        for i in 0..cfg.p {
+            arena.encode_pe(i, &mut stack_bytes);
+        }
+        let bytes = driver.snapshot(&stack_bytes);
+        let resumed = crate::ckpt::resume_from_bytes(&tree, &cfg, &bytes).expect("decode");
+        assert_eq!(resumed, want, "driver snapshot must resume bit-identically");
+    }
+}

@@ -31,6 +31,7 @@ use uts_tree::{SearchStack, SplitPolicy, StackArena, TreeProblem};
 
 use crate::matcher::MatchState;
 use crate::scheme::{Scheme, TransferMode, Trigger};
+use crate::store::{CountedMove, StackStore};
 use crate::trigger::{should_balance, static_threshold, TriggerCtx};
 
 /// Which executor [`run_with`] dispatches to. All four produce
@@ -529,9 +530,9 @@ pub(crate) fn machine_report(machine: SimdMachine) -> Report {
     machine.finish(w)
 }
 
-/// Census of one fused expansion cycle: how many PEs ran it and how many
-/// finished it splittable.
-pub(crate) struct CycleStats {
+/// Census of one fused expansion cycle (or one macro-step burst): how many
+/// PEs ran it and how many finished it splittable.
+pub struct CycleStats {
     /// PEs that expanded a node this cycle (= active-list length before).
     pub started: usize,
     /// PEs left with `len >= 2` afterwards.
@@ -581,6 +582,56 @@ pub(crate) fn fused_expansion_cycle<P: TreeProblem>(
     CycleStats { started, busy: busy_count }
 }
 
+/// One macro-step's worth of expansion over the dense active list: `h`
+/// consecutive lockstep cycles (or until a PE drains), exactly the search
+/// phase of [`crate::macrostep::run`] between two checkpoints. `h == 1`
+/// runs [`fused_expansion_cycle`]'s single-cycle pass; `h > 1` runs one
+/// tight cache-hot DFS burst per active PE and records each drained PE's
+/// burst length in `death_cycles` (cleared first, **unsorted**) so the
+/// caller can reconstruct the lockstep schedule via
+/// [`uts_machine::SimdMachine::expansion_cycles_with_deaths`]. Public
+/// because the sharded machine's workers (`uts-shard`) run the identical
+/// helper over their slab — the bit-identity of the sharded schedule
+/// reduces to this function being the single implementation of the search
+/// phase. Machine accounting is the caller's job: it needs the *merged*
+/// death list when the active list spans several workers.
+pub fn expansion_burst<P: TreeProblem>(
+    problem: &P,
+    arena: &mut StackArena<P::Node>,
+    active: &mut Vec<usize>,
+    h: u64,
+    goals: &mut u64,
+    peak_stack_nodes: &mut usize,
+    death_cycles: &mut Vec<u64>,
+) -> CycleStats {
+    death_cycles.clear();
+    if h == 1 {
+        return fused_expansion_cycle(problem, arena, active, goals, peak_stack_nodes);
+    }
+    let started = active.len();
+    let (slabs, lens) = arena.parts_mut();
+    let mut busy_count = 0usize;
+    let mut kept = 0usize;
+    for scan in 0..started {
+        let i = active[scan];
+        let slab = &mut slabs[i];
+        let burst = slab.expand_burst(problem, h);
+        *goals += burst.goals;
+        *peak_stack_nodes = (*peak_stack_nodes).max(burst.peak);
+        let s1 = slab.len();
+        lens[i] = s1 as u32;
+        if s1 == 0 {
+            death_cycles.push(burst.expanded);
+        } else {
+            busy_count += (s1 >= 2) as usize;
+            active[kept] = i;
+            kept += 1;
+        }
+    }
+    active.truncate(kept);
+    CycleStats { started, busy: busy_count }
+}
+
 /// Long-lived balancing buffers, reused across every round of every
 /// balancing phase of a run so a warmed-up phase allocates nothing.
 #[derive(Default)]
@@ -589,6 +640,14 @@ pub(crate) struct LbBuffers {
     pub pairs: Vec<Pair>,
     pub incoming: Vec<usize>,
     pub merge_buf: Vec<usize>,
+    /// Per-pair transfer verdicts of the last [`StackStore::split_pairs`]
+    /// round.
+    pub ok: Vec<bool>,
+    /// Counted-split requests of the current equalization round.
+    pub reqs: Vec<CountedMove>,
+    /// Per-request moved counts of the last [`StackStore::split_counts`]
+    /// round.
+    pub moved: Vec<usize>,
 }
 
 /// In-flight ledger state while a run executes: receipts accumulate
@@ -761,7 +820,11 @@ pub(crate) fn trigger_fires(
 
 /// One full load-balancing phase (all transfer modes), including the
 /// machine accounting. Shared verbatim by the fused, macro and parallel
-/// engines; the caller has already decided the trigger fires effectively.
+/// engines — and, via the [`StackStore`] abstraction, by the sharded
+/// multi-process machine, whose coordinator runs this exact function over
+/// a remote store so the balancing schedule cannot drift between the
+/// in-process and sharded executors. The caller has already decided the
+/// trigger fires effectively.
 ///
 /// `peak_stack_nodes` is observed at *transfer time*: every fed receiver's
 /// post-transfer length is folded in as the transfer lands, not at the
@@ -776,11 +839,11 @@ pub(crate) fn trigger_fires(
 /// failure of Sec. 8's Frye–Myczkowski variant), and the reference oracle
 /// re-checks it with a full recount under `debug_assertions`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn balancing_phase<N>(
+pub(crate) fn balancing_phase<S: StackStore>(
     cfg: &EngineConfig,
     machine: &mut SimdMachine,
     matcher: &mut MatchState,
-    arena: &mut StackArena<N>,
+    store: &mut S,
     active: &mut Vec<usize>,
     busy_count: &mut usize,
     donations: &mut [u32],
@@ -793,7 +856,7 @@ pub(crate) fn balancing_phase<N>(
     let mut transfers = 0u64;
     match cfg.scheme.transfers {
         TransferMode::Single => {
-            pack_busy(active, arena.lens(), &mut lb.scratch.packed_busy);
+            pack_busy(active, store.lens(), &mut lb.scratch.packed_busy);
             let need = lb.scratch.packed_busy.len().min(cfg.p - active.len());
             pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
             matcher.match_round_packed(
@@ -803,7 +866,7 @@ pub(crate) fn balancing_phase<N>(
                 &mut lb.pairs,
             );
             transfers += apply_pairs(
-                arena,
+                store,
                 &lb.pairs,
                 cfg.split,
                 donations,
@@ -811,6 +874,7 @@ pub(crate) fn balancing_phase<N>(
                 &mut lb.incoming,
                 peak_stack_nodes,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
+                &mut lb.ok,
             );
             merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
             rounds = 1;
@@ -818,15 +882,15 @@ pub(crate) fn balancing_phase<N>(
         TransferMode::Multiple => {
             // Repeat rendezvous rounds until no idle PE can be fed
             // (required for D^P, Sec. 2.3). The lens mirror and the active
-            // list are updated transfer-by-transfer, so no per-round
-            // refresh sweep is needed; the merge runs each round so the
-            // next round's enumerations see the PEs just fed.
+            // list are updated round-by-round, so no per-round refresh
+            // sweep is needed; the merge runs each round so the next
+            // round's enumerations see the PEs just fed.
             let mut idle_left = idle;
             loop {
                 if *busy_count == 0 || idle_left == 0 {
                     break;
                 }
-                pack_busy(active, arena.lens(), &mut lb.scratch.packed_busy);
+                pack_busy(active, store.lens(), &mut lb.scratch.packed_busy);
                 let need = lb.scratch.packed_busy.len().min(idle_left);
                 pack_idle_prefix(active, cfg.p, need, &mut lb.scratch.packed_idle);
                 matcher.match_round_packed(
@@ -839,7 +903,7 @@ pub(crate) fn balancing_phase<N>(
                     break;
                 }
                 let done = apply_pairs(
-                    arena,
+                    store,
                     &lb.pairs,
                     cfg.split,
                     donations,
@@ -847,6 +911,7 @@ pub(crate) fn balancing_phase<N>(
                     &mut lb.incoming,
                     peak_stack_nodes,
                     recorder.as_mut().map(LedgerRecorder::receipts_mut),
+                    &mut lb.ok,
                 );
                 merge_active(active, &mut lb.incoming, &mut lb.merge_buf);
                 idle_left -= done as usize;
@@ -861,15 +926,17 @@ pub(crate) fn balancing_phase<N>(
             // wholesale afterwards (it is already O(P) per round; one extra
             // sweep changes nothing asymptotic).
             rounds = equalize(
-                arena,
+                store,
                 &mut transfers,
                 donations,
                 peak_stack_nodes,
                 recorder.as_mut().map(LedgerRecorder::receipts_mut),
+                &mut lb.reqs,
+                &mut lb.moved,
             );
             active.clear();
             *busy_count = 0;
-            for (i, &len) in arena.lens().iter().enumerate() {
+            for (i, &len) in store.lens().iter().enumerate() {
                 *busy_count += (len >= 2) as usize;
                 if len > 0 {
                     active.push(i);
@@ -913,15 +980,24 @@ pub(crate) fn pack_idle_prefix(active: &[usize], p: usize, need: usize, out: &mu
 
 /// Apply one round of matched transfers, maintaining the incremental
 /// census: the busy count and the list of PEs that must (re)join the
-/// active list (busy state itself lives in the arena's lens mirror, which
-/// [`StackArena::split_into`] keeps in sync). Transfers move nodes between
-/// flat slabs directly. Every fed receiver's post-transfer length is
-/// folded into `peak`, so the high-water mark observes balancing-phase
-/// state the next expansion census would miss if the receiver shrank
-/// first (see [`balancing_phase`]).
+/// active list (busy state itself lives in the store's lens mirror, which
+/// the split primitives keep in sync). Every fed receiver's post-transfer
+/// length is folded into `peak`, so the high-water mark observes
+/// balancing-phase state the next expansion census would miss if the
+/// receiver shrank first (see [`balancing_phase`]).
+///
+/// The round is applied as one [`StackStore::split_pairs`] batch and the
+/// census accounting replayed afterwards in pair order. Within a
+/// rendezvous round every donor and every receiver is a distinct PE (the
+/// k-th busy feeds the k-th idle) and the sets are disjoint (receivers are
+/// empty, donors splittable), so each PE's length is touched by exactly
+/// one split and the post-batch reads equal the split-by-split
+/// interleaving's — the batched form is bit-identical to the original
+/// sequential one, while letting a sharded store ship the whole round in
+/// one message exchange.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn apply_pairs<N>(
-    arena: &mut StackArena<N>,
+pub(crate) fn apply_pairs<S: StackStore>(
+    store: &mut S,
     pairs: &[Pair],
     split: SplitPolicy,
     donations: &mut [u32],
@@ -929,12 +1005,18 @@ pub(crate) fn apply_pairs<N>(
     incoming: &mut Vec<usize>,
     peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
+    ok: &mut Vec<bool>,
 ) -> u64 {
-    let mut done = 0;
+    #[cfg(debug_assertions)]
     for pair in pairs {
         debug_assert_ne!(pair.donor, pair.receiver);
-        debug_assert_eq!(arena.len_of(pair.receiver), 0);
-        if arena.split_into(pair.donor, pair.receiver, split) {
+        debug_assert_eq!(store.len_of(pair.receiver), 0);
+    }
+    store.split_pairs(pairs, split, ok);
+    debug_assert_eq!(ok.len(), pairs.len());
+    let mut done = 0;
+    for (pair, &transferred) in pairs.iter().zip(ok.iter()) {
+        if transferred {
             donations[pair.donor] += 1;
             if let Some(r) = receipts.as_deref_mut() {
                 r[pair.receiver] += 1;
@@ -942,9 +1024,9 @@ pub(crate) fn apply_pairs<N>(
             done += 1;
             // Donor stays non-empty but may drop below the busy threshold;
             // receiver now holds work (and may itself be splittable).
-            *busy_count -= (!arena.can_split(pair.donor)) as usize;
-            *busy_count += arena.can_split(pair.receiver) as usize;
-            *peak = (*peak).max(arena.len_of(pair.receiver));
+            *busy_count -= (!store.can_split(pair.donor)) as usize;
+            *busy_count += store.can_split(pair.receiver) as usize;
+            *peak = (*peak).max(store.len_of(pair.receiver));
             incoming.push(pair.receiver);
         }
     }
@@ -987,15 +1069,24 @@ pub(crate) fn merge_active(
 /// stops). Returns the number of transfer rounds. Donated chunks keep their
 /// frame structure ([`StackArena::split_count_into`] reproduces
 /// `split_count` + `merge_from` over the flat slabs); see DESIGN.md.
-pub(crate) fn equalize<N>(
-    arena: &mut StackArena<N>,
+///
+/// Each round is applied as one [`StackStore::split_counts`] batch: a
+/// round's donors (`len > target`) and receivers (`len < target`) are
+/// disjoint and each appears at most once, so the per-request
+/// `excess`/`want` operands computed from the pre-round census equal the
+/// sequential interleaving's, and the batch is bit-identical to it (the
+/// same argument as [`apply_pairs`]).
+pub(crate) fn equalize<S: StackStore>(
+    store: &mut S,
     transfers: &mut u64,
     donations: &mut [u32],
     peak: &mut usize,
     mut receipts: Option<&mut [u32]>,
+    reqs: &mut Vec<CountedMove>,
+    moved: &mut Vec<usize>,
 ) -> u32 {
-    let p = arena.p();
-    let total: usize = arena.lens().iter().map(|&l| l as usize).sum();
+    let p = store.p();
+    let total: usize = store.lens().iter().map(|&l| l as usize).sum();
     let target = total.div_ceil(p);
     let mut rounds = 0u32;
     // Bound the rounds: each round matches donors to receivers 1-1, so
@@ -1005,22 +1096,28 @@ pub(crate) fn equalize<N>(
         // Donors hold > target; receivers hold < target (poorest first ==
         // index order is fine; rendezvous semantics).
         let donors: Vec<usize> =
-            (0..p).filter(|&i| arena.len_of(i) > target && arena.can_split(i)).collect();
-        let receivers: Vec<usize> = (0..p).filter(|&i| arena.len_of(i) < target).collect();
+            (0..p).filter(|&i| store.len_of(i) > target && store.can_split(i)).collect();
+        let receivers: Vec<usize> = (0..p).filter(|&i| store.len_of(i) < target).collect();
         if donors.is_empty() || receivers.is_empty() {
             break;
         }
-        let mut moved_any = false;
+        reqs.clear();
         for (&d, &r) in donors.iter().zip(&receivers) {
-            let excess = arena.len_of(d) - target;
-            let want = target - arena.len_of(r);
-            if arena.split_count_into(d, r, excess.min(want)) > 0 {
-                donations[d] += 1;
+            let excess = store.len_of(d) - target;
+            let want = target - store.len_of(r);
+            reqs.push(CountedMove { donor: d, receiver: r, max_nodes: excess.min(want) });
+        }
+        store.split_counts(reqs, moved);
+        debug_assert_eq!(moved.len(), reqs.len());
+        let mut moved_any = false;
+        for (req, &n) in reqs.iter().zip(moved.iter()) {
+            if n > 0 {
+                donations[req.donor] += 1;
                 if let Some(rc) = receipts.as_deref_mut() {
-                    rc[r] += 1;
+                    rc[req.receiver] += 1;
                 }
                 *transfers += 1;
-                *peak = (*peak).max(arena.len_of(r));
+                *peak = (*peak).max(store.len_of(req.receiver));
                 moved_any = true;
             }
         }

@@ -41,6 +41,7 @@
 
 pub mod census;
 pub mod ckpt;
+pub mod driver;
 pub mod engine;
 pub mod macrostep;
 pub mod matcher;
@@ -50,12 +51,16 @@ pub mod pool;
 pub mod reference;
 pub mod report_json;
 pub mod scheme;
+pub mod store;
 pub mod trigger;
 
 pub use ckpt::{
     config_fingerprint, resume_from_bytes, resume_with, CheckpointCfg, CheckpointSink, Snapshot,
 };
-pub use engine::{run_fused, run_with, EngineConfig, EngineKind, MacroStep, Outcome};
+pub use driver::{LockstepDriver, MergedBurst, StepStatus};
+pub use engine::{
+    expansion_burst, run_fused, run_with, CycleStats, EngineConfig, EngineKind, MacroStep, Outcome,
+};
 pub use macrostep::run;
 pub use matcher::MatchState;
 pub use parstep::run_par;
@@ -63,3 +68,4 @@ pub use pool::WorkerPool;
 pub use reference::run_reference;
 pub use report_json::run_report_json;
 pub use scheme::{Matching, Scheme, TransferMode, Trigger};
+pub use store::{CountedMove, StackStore};

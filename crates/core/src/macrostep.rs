@@ -102,59 +102,34 @@ pub(crate) fn run_from<P: TreeProblem>(
             &mut count_ge,
         );
 
-        let started = active.len();
         let start_cycle = machine.metrics().n_expand;
-        let mut kept = 0usize;
-        let mut busy_count = 0usize;
+        // ---- search phase: the shared burst helper ----
+        // `h == 1` runs the fused engine's single-cycle pass; `h > 1` runs
+        // one tight cache-hot DFS burst per active PE straight over the
+        // slab/lens windows, recording each drained PE's burst length.
+        let stats = crate::engine::expansion_burst(
+            problem,
+            &mut arena,
+            &mut active,
+            h,
+            &mut goals,
+            &mut peak_stack_nodes,
+            &mut death_cycles,
+        );
+        let mut busy_count = stats.busy;
         let ran;
         if h == 1 {
-            // ---- single-cycle fast path (the fused engine's pass) ----
-            // A one-cycle step batches nothing; running it through the
-            // burst machinery would only add overhead, so this arm runs
-            // `run_fused`'s hot loop (the shared helper).
-            let stats = crate::engine::fused_expansion_cycle(
-                problem,
-                &mut arena,
-                &mut active,
-                &mut goals,
-                &mut peak_stack_nodes,
-            );
-            busy_count = stats.busy;
             machine.expansion_cycle(stats.started);
             ran = 1;
         } else {
-            // ---- macro-step: one tight DFS burst per active PE ----
-            // The burst sweep runs straight over the slab/lens windows: one
-            // flat node slab per PE, post-burst lengths written into the
-            // dense census mirror.
-            death_cycles.clear();
-            let (slabs, lens) = arena.parts_mut();
-            for scan in 0..started {
-                let i = active[scan];
-                let slab = &mut slabs[i];
-                let burst = slab.expand_burst(problem, h);
-                goals += burst.goals;
-                peak_stack_nodes = peak_stack_nodes.max(burst.peak);
-                let s1 = slab.len();
-                lens[i] = s1 as u32;
-                if s1 == 0 {
-                    death_cycles.push(burst.expanded);
-                } else {
-                    busy_count += (s1 >= 2) as usize;
-                    active[kept] = i;
-                    kept += 1;
-                }
-            }
-            active.truncate(kept);
-
             // ---- reconstruct the lockstep schedule from the deaths ----
             // A PE that drained after `e` expansions worked cycles `1..=e`
             // of the batch; survivors worked all of them. So worked(j) is a
             // step function dropping at each distinct death time, and the
             // batch ends at `h` if anyone survived, else at the last death.
             death_cycles.sort_unstable();
-            ran = if kept > 0 { h } else { *death_cycles.last().expect("had active PEs") };
-            machine.expansion_cycles_with_deaths(started, ran, &death_cycles);
+            ran = if active.is_empty() { *death_cycles.last().expect("had active PEs") } else { h };
+            machine.expansion_cycles_with_deaths(stats.started, ran, &death_cycles);
         }
         if cfg.record_horizons {
             macro_steps.push(MacroStep { start_cycle, horizon: h, ran });

@@ -167,6 +167,38 @@ impl CostModel {
     pub fn lb_ratio(&self, p: usize) -> f64 {
         self.lb_phase_cost(p, 1) as f64 / self.u_calc as f64
     }
+
+    /// Phase cost attribution with a *measured* transfer term: like
+    /// [`CostModel::lb_phase_cost_breakdown`], but the transfer part is
+    /// charged per actually-routed network step (`lb_transfer *
+    /// route_steps`, where `route_steps` is `uts_net::RouteStats::steps`
+    /// summed over the phase's rounds) instead of the closed-form
+    /// per-round bound (`d^2` hypercube / `sqrt P` mesh / constant CM-2).
+    /// The setup term stays closed-form — the sum-scan tree's depth is a
+    /// property of the topology, not of the traffic. The sharded machine
+    /// records this next to the closed-form breakdown so the ledger's
+    /// guess and the routed measurement can be compared round-trip (the
+    /// satellite bracket suite pins one against the other).
+    ///
+    /// # Panics
+    /// Panics if `rounds == 0` — a phase with no rounds is an engine bug.
+    pub fn measured_lb_cost_breakdown(
+        &self,
+        p: usize,
+        rounds: u32,
+        route_steps: u64,
+    ) -> LbCostBreakdown {
+        assert!(rounds > 0, "a balancing phase must contain at least one round");
+        let (setup_round, _) = self.lb_round_parts(p);
+        let setup = setup_round * rounds as u64;
+        let transfer = self.lb_transfer * route_steps;
+        LbCostBreakdown {
+            setup,
+            transfer,
+            multiplier: self.lb_multiplier,
+            total: (setup + transfer) * self.lb_multiplier as u64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,5 +304,31 @@ mod tests {
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
         CostModel::cm2().lb_phase_cost(8, 0);
+    }
+
+    #[test]
+    fn measured_breakdown_keeps_setup_and_swaps_transfer() {
+        // Hypercube at p = 64 (d = 6), one round: closed form charges
+        // transfer * 36; a measured route of 9 steps charges transfer * 9.
+        let c = CostModel::hypercube();
+        let closed = c.lb_phase_cost_breakdown(64, 1);
+        let measured = c.measured_lb_cost_breakdown(64, 1, 9);
+        assert_eq!(measured.setup, closed.setup);
+        assert_eq!(measured.transfer, 9 * c.lb_transfer);
+        assert_eq!(measured.total, (measured.setup + measured.transfer) * c.lb_multiplier as u64);
+    }
+
+    #[test]
+    fn measured_breakdown_applies_the_multiplier() {
+        let c = CostModel::mesh().with_lb_multiplier(12);
+        let b = c.measured_lb_cost_breakdown(100, 2, 30);
+        assert_eq!(b.multiplier, 12);
+        assert_eq!(b.total, (b.setup + b.transfer) * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn measured_zero_rounds_rejected() {
+        CostModel::cm2().measured_lb_cost_breakdown(8, 0, 5);
     }
 }

@@ -29,7 +29,7 @@ pub struct Message {
 }
 
 /// Outcome of routing a message set to completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RouteStats {
     /// Synchronous steps until every message arrived.
     pub steps: u32,
@@ -37,6 +37,20 @@ pub struct RouteStats {
     pub max_hops: u32,
     /// Total number of blocked-message wait events (congestion measure).
     pub waits: u64,
+}
+
+impl RouteStats {
+    /// Fold another routed batch into this accumulator: batches routed one
+    /// after the other take the *sum* of their step counts (the network is
+    /// reused serially, e.g. one batch per balancing round), the worst
+    /// single path is the max, and wait events add. Used by the sharded
+    /// machine to aggregate per-round transfer routes into per-phase (and
+    /// per-run) measured provenance.
+    pub fn absorb(&mut self, other: RouteStats) {
+        self.steps += other.steps;
+        self.max_hops = self.max_hops.max(other.max_hops);
+        self.waits += other.waits;
+    }
 }
 
 /// A routing function: given the network size and a message's current

@@ -1,0 +1,644 @@
+//! The shard wire protocol: message grammar over the checkpoint frame
+//! codec.
+//!
+//! Every message travels as one [`uts_ckpt::wire`] frame (length-prefixed,
+//! FNV-1a-checksummed, sequence-numbered), so the transport inherits the
+//! checkpoint codec's rejection-mode discipline: truncation, bit flips and
+//! reordering all surface as typed [`uts_ckpt::wire::WireError`]s, never as
+//! garbage state. Payloads use the `uts-tree` checkpoint codec primitives,
+//! and donated stacks travel in the *exact* [`uts_tree::SearchStack`]
+//! encoding (`PeSlab::encode_stack` bytes), which is what makes sharded
+//! snapshots interchangeable with single-process ones.
+//!
+//! # Grammar
+//!
+//! Ten request families, coordinator → worker; every request gets exactly
+//! one reply frame carrying the *same tag* (so a mismatched reply is a
+//! protocol error, not a mis-parse). All stack payloads are u32
+//! byte-length-prefixed so the coordinator can relay donated stacks
+//! between shards without decoding nodes.
+//!
+//! | tag | request                                    | reply |
+//! |-----|--------------------------------------------|-------|
+//! | [`tag::HELLO`]        | shard geometry + split policy + workload + kill knob | ack |
+//! | [`tag::LOAD`]         | non-empty stacks for the local range (resume)        | count loaded |
+//! | [`tag::BURST`]        | horizon `h`                                          | census delta: started/goals/peak/deaths + changed lens |
+//! | [`tag::SPLIT_PAIRS`]  | same-shard matched splits (policy + local pairs)     | per pair: ok + both new lens |
+//! | [`tag::SPLIT_EXTRACT`]| cross-shard matched splits, donor side               | per donor: ok + new len + donated stack |
+//! | [`tag::INSTALL`]      | donated stacks for local receivers                   | per receiver: new len |
+//! | [`tag::COUNT_LOCAL`]  | same-shard counted splits (equalization)             | per request: moved + both new lens |
+//! | [`tag::COUNT_EXTRACT`]| cross-shard counted splits, donor side               | per donor: moved + new len + donated stack |
+//! | [`tag::ENCODE`]       | (empty)                                              | concatenated per-PE stack encodings for the range |
+//! | [`tag::SHUTDOWN`]     | (empty)                                              | ack, then the worker exits |
+
+use uts_synthgen::{GenFamily, GenTree};
+use uts_tree::codec::{put_bool, put_u32, put_u64, put_usize};
+use uts_tree::{CodecError, Reader, SplitPolicy};
+
+/// Frame tags. Replies reuse the request tag.
+pub mod tag {
+    /// Shard geometry, split policy, workload, fault knob.
+    pub const HELLO: u8 = 1;
+    /// Install resumed stacks into the local range.
+    pub const LOAD: u8 = 2;
+    /// Run one search-phase burst of `h` cycles.
+    pub const BURST: u8 = 3;
+    /// Matched splits where donor and receiver share the shard.
+    pub const SPLIT_PAIRS: u8 = 4;
+    /// Donor half of a cross-shard matched split.
+    pub const SPLIT_EXTRACT: u8 = 5;
+    /// Receiver half of a cross-shard transfer.
+    pub const INSTALL: u8 = 6;
+    /// Counted splits where donor and receiver share the shard.
+    pub const COUNT_LOCAL: u8 = 7;
+    /// Donor half of a cross-shard counted split.
+    pub const COUNT_EXTRACT: u8 = 8;
+    /// Encode the local range's stacks for a coordinator snapshot.
+    pub const ENCODE: u8 = 9;
+    /// Clean worker exit.
+    pub const SHUTDOWN: u8 = 10;
+}
+
+/// The workload a worker monomorphizes its engine over — the wire-portable
+/// subset of the CLI's workload grammar (a 15-puzzle is fully determined
+/// by its packed board and cost bound; a generated tree by its seed and
+/// family parameters).
+#[derive(Debug, Clone, Copy)]
+pub enum ShardWorkload {
+    /// Bounded 15-puzzle iteration: packed board + IDA* cost bound.
+    Puzzle {
+        /// The packed start board ([`uts_puzzle15::Board`] representation).
+        board: u64,
+        /// Cost bound of the iteration.
+        bound: u32,
+    },
+    /// On-the-fly generated Galton–Watson tree.
+    UtsGen(GenTree),
+}
+
+impl ShardWorkload {
+    /// Append the canonical encoding.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            ShardWorkload::Puzzle { board, bound } => {
+                out.push(0);
+                put_u64(out, board);
+                put_u32(out, bound);
+            }
+            ShardWorkload::UtsGen(tree) => {
+                out.push(1);
+                put_u64(out, tree.seed);
+                match tree.family {
+                    GenFamily::Geometric { b_max, depth_limit } => {
+                        out.push(0);
+                        put_u32(out, b_max);
+                        put_u32(out, depth_limit);
+                    }
+                    GenFamily::Binomial { b0, m, q_threshold } => {
+                        out.push(1);
+                        put_u32(out, b0);
+                        put_u32(out, m);
+                        put_u64(out, q_threshold);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decode one workload from the front of `r`.
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(match r.u8()? {
+            0 => ShardWorkload::Puzzle { board: r.u64()?, bound: r.u32()? },
+            1 => {
+                let seed = r.u64()?;
+                let family = match r.u8()? {
+                    0 => GenFamily::Geometric { b_max: r.u32()?, depth_limit: r.u32()? },
+                    1 => GenFamily::Binomial { b0: r.u32()?, m: r.u32()?, q_threshold: r.u64()? },
+                    _ => return Err(CodecError::Malformed("unknown generated-tree family")),
+                };
+                GenTree { seed, family }.into()
+            }
+            _ => return Err(CodecError::Malformed("unknown shard workload")),
+        })
+    }
+}
+
+impl From<GenTree> for ShardWorkload {
+    fn from(tree: GenTree) -> Self {
+        ShardWorkload::UtsGen(tree)
+    }
+}
+
+fn put_policy(out: &mut Vec<u8>, policy: SplitPolicy) {
+    out.push(match policy {
+        SplitPolicy::Bottom => 0,
+        SplitPolicy::Half => 1,
+        SplitPolicy::Top => 2,
+    });
+}
+
+fn take_policy(r: &mut Reader<'_>) -> Result<SplitPolicy, CodecError> {
+    Ok(match r.u8()? {
+        0 => SplitPolicy::Bottom,
+        1 => SplitPolicy::Half,
+        2 => SplitPolicy::Top,
+        _ => return Err(CodecError::Malformed("unknown split policy")),
+    })
+}
+
+/// The coordinator's opening message: everything a worker needs to build
+/// its slab and monomorphize its engine loop.
+#[derive(Debug, Clone)]
+pub struct Hello {
+    /// This worker's shard index (0-based).
+    pub shard: u32,
+    /// Total number of shards.
+    pub shards: u32,
+    /// First global PE of the local range.
+    pub lo: u64,
+    /// One past the last global PE of the local range.
+    pub hi: u64,
+    /// Work-splitting policy of the run.
+    pub split: SplitPolicy,
+    /// Seed PE `lo == 0` with the problem root (fresh run; a resumed run
+    /// ships its stacks via [`tag::LOAD`] instead).
+    pub seed_root: bool,
+    /// Fault-injection knob: self-SIGKILL on receiving the k-th
+    /// [`tag::BURST`] (1-based), for the kill→resume suites.
+    pub kill_at_burst: Option<u64>,
+    /// The search problem.
+    pub workload: ShardWorkload,
+}
+
+impl Hello {
+    /// Encode into a frame payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u32(out, self.shard);
+        put_u32(out, self.shards);
+        put_u64(out, self.lo);
+        put_u64(out, self.hi);
+        put_policy(out, self.split);
+        put_bool(out, self.seed_root);
+        match self.kill_at_burst {
+            None => put_bool(out, false),
+            Some(k) => {
+                put_bool(out, true);
+                put_u64(out, k);
+            }
+        }
+        self.workload.encode(out);
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let hello = Hello {
+            shard: r.u32()?,
+            shards: r.u32()?,
+            lo: r.u64()?,
+            hi: r.u64()?,
+            split: take_policy(&mut r)?,
+            seed_root: r.bool()?,
+            kill_at_burst: if r.bool()? { Some(r.u64()?) } else { None },
+            workload: ShardWorkload::decode(&mut r)?,
+        };
+        expect_done(&r)?;
+        Ok(hello)
+    }
+}
+
+fn expect_done(r: &Reader<'_>) -> Result<(), CodecError> {
+    if r.is_done() {
+        Ok(())
+    } else {
+        Err(CodecError::Malformed("trailing bytes after shard message"))
+    }
+}
+
+/// A length-prefixed opaque stack blob (exact `SearchStack` codec bytes).
+/// The coordinator relays these between shards without decoding nodes.
+pub fn put_stack_bytes(out: &mut Vec<u8>, stack: &[u8]) {
+    debug_assert!(stack.len() <= u32::MAX as usize, "stack blob too large for the wire");
+    put_u32(out, stack.len() as u32);
+    out.extend_from_slice(stack);
+}
+
+/// Take one length-prefixed stack blob.
+pub fn take_stack_bytes<'a>(r: &mut Reader<'a>) -> Result<&'a [u8], CodecError> {
+    let n = r.u32()? as usize;
+    r.bytes(n)
+}
+
+/// `LOAD` request: `(local_pe, stack)` entries for the non-empty PEs of a
+/// resumed range.
+pub fn encode_load(out: &mut Vec<u8>, entries: &[(u32, &[u8])]) {
+    put_usize(out, entries.len());
+    for &(pe, stack) in entries {
+        put_u32(out, pe);
+        put_stack_bytes(out, stack);
+    }
+}
+
+/// `BURST` request.
+pub fn encode_burst(out: &mut Vec<u8>, h: u64) {
+    put_u64(out, h);
+}
+
+/// Decode a `BURST` request.
+pub fn decode_burst(bytes: &[u8]) -> Result<u64, CodecError> {
+    let mut r = Reader::new(bytes);
+    let h = r.u64()?;
+    expect_done(&r)?;
+    Ok(h)
+}
+
+/// A worker's census delta for one burst: the per-shard half of
+/// [`uts_core::MergedBurst`], plus the sparse length updates that feed the
+/// coordinator's dense mirror (only PEs that entered the burst can have
+/// changed).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BurstReply {
+    /// Local PEs that entered the burst.
+    pub started: u64,
+    /// Goals found during the burst.
+    pub goals: u64,
+    /// Largest local stack observed during the burst (nodes).
+    pub peak: u64,
+    /// Burst lengths of local PEs that drained mid-burst (unsorted).
+    pub deaths: Vec<u64>,
+    /// `(local_pe, new_len)` for every PE that entered the burst.
+    pub changed: Vec<(u32, u32)>,
+}
+
+impl BurstReply {
+    /// Encode into a frame payload.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        put_u64(out, self.started);
+        put_u64(out, self.goals);
+        put_u64(out, self.peak);
+        put_usize(out, self.deaths.len());
+        for &d in &self.deaths {
+            put_u64(out, d);
+        }
+        put_usize(out, self.changed.len());
+        for &(pe, len) in &self.changed {
+            put_u32(out, pe);
+            put_u32(out, len);
+        }
+    }
+
+    /// Decode a frame payload.
+    pub fn decode(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let started = r.u64()?;
+        let goals = r.u64()?;
+        let peak = r.u64()?;
+        let n = r.len(8)?;
+        let mut deaths = Vec::with_capacity(n);
+        for _ in 0..n {
+            deaths.push(r.u64()?);
+        }
+        let n = r.len(8)?;
+        let mut changed = Vec::with_capacity(n);
+        for _ in 0..n {
+            changed.push((r.u32()?, r.u32()?));
+        }
+        expect_done(&r)?;
+        Ok(BurstReply { started, goals, peak, deaths, changed })
+    }
+}
+
+/// `SPLIT_PAIRS` request: policy + local `(donor, receiver)` pairs.
+pub fn encode_split_pairs(out: &mut Vec<u8>, policy: SplitPolicy, pairs: &[(u32, u32)]) {
+    put_policy(out, policy);
+    put_usize(out, pairs.len());
+    for &(d, rcv) in pairs {
+        put_u32(out, d);
+        put_u32(out, rcv);
+    }
+}
+
+/// Decode a `SPLIT_PAIRS` request.
+pub fn decode_split_pairs(bytes: &[u8]) -> Result<(SplitPolicy, Vec<(u32, u32)>), CodecError> {
+    let mut r = Reader::new(bytes);
+    let policy = take_policy(&mut r)?;
+    let n = r.len(8)?;
+    let mut pairs = Vec::with_capacity(n);
+    for _ in 0..n {
+        pairs.push((r.u32()?, r.u32()?));
+    }
+    expect_done(&r)?;
+    Ok((policy, pairs))
+}
+
+/// `SPLIT_EXTRACT` request: policy + local donors.
+pub fn encode_split_extract(out: &mut Vec<u8>, policy: SplitPolicy, donors: &[u32]) {
+    put_policy(out, policy);
+    put_usize(out, donors.len());
+    for &d in donors {
+        put_u32(out, d);
+    }
+}
+
+/// Decode a `SPLIT_EXTRACT` request.
+pub fn decode_split_extract(bytes: &[u8]) -> Result<(SplitPolicy, Vec<u32>), CodecError> {
+    let mut r = Reader::new(bytes);
+    let policy = take_policy(&mut r)?;
+    let n = r.len(4)?;
+    let mut donors = Vec::with_capacity(n);
+    for _ in 0..n {
+        donors.push(r.u32()?);
+    }
+    expect_done(&r)?;
+    Ok((policy, donors))
+}
+
+/// `COUNT_LOCAL` request: local `(donor, receiver, max_nodes)` requests.
+pub fn encode_count_local(out: &mut Vec<u8>, reqs: &[(u32, u32, u64)]) {
+    put_usize(out, reqs.len());
+    for &(d, rcv, k) in reqs {
+        put_u32(out, d);
+        put_u32(out, rcv);
+        put_u64(out, k);
+    }
+}
+
+/// Decode a `COUNT_LOCAL` request.
+pub fn decode_count_local(bytes: &[u8]) -> Result<Vec<(u32, u32, u64)>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(16)?;
+    let mut reqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        reqs.push((r.u32()?, r.u32()?, r.u64()?));
+    }
+    expect_done(&r)?;
+    Ok(reqs)
+}
+
+/// `COUNT_EXTRACT` request: local `(donor, max_nodes)` requests.
+pub fn encode_count_extract(out: &mut Vec<u8>, reqs: &[(u32, u64)]) {
+    put_usize(out, reqs.len());
+    for &(d, k) in reqs {
+        put_u32(out, d);
+        put_u64(out, k);
+    }
+}
+
+/// Decode a `COUNT_EXTRACT` request.
+pub fn decode_count_extract(bytes: &[u8]) -> Result<Vec<(u32, u64)>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(12)?;
+    let mut reqs = Vec::with_capacity(n);
+    for _ in 0..n {
+        reqs.push((r.u32()?, r.u64()?));
+    }
+    expect_done(&r)?;
+    Ok(reqs)
+}
+
+/// `INSTALL` request: `(local_receiver, stack)` entries.
+pub fn encode_install(out: &mut Vec<u8>, entries: &[(u32, &[u8])]) {
+    put_usize(out, entries.len());
+    for &(pe, stack) in entries {
+        put_u32(out, pe);
+        put_stack_bytes(out, stack);
+    }
+}
+
+/// Decode a `LOAD` or `INSTALL` request into owned `(local_pe, stack
+/// bytes)` entries.
+pub fn decode_stack_entries(bytes: &[u8]) -> Result<Vec<(u32, Vec<u8>)>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(5)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let pe = r.u32()?;
+        let stack = take_stack_bytes(&mut r)?.to_vec();
+        entries.push((pe, stack));
+    }
+    expect_done(&r)?;
+    Ok(entries)
+}
+
+/// `SPLIT_PAIRS` / `COUNT_LOCAL` reply entry: how many nodes moved (0/1
+/// for matched splits) plus the authoritative post-split lengths of both
+/// endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalSplitReply {
+    /// Nodes moved (matched splits report 1 when the split happened).
+    pub moved: u64,
+    /// Donor's post-split stack length.
+    pub donor_len: u32,
+    /// Receiver's post-split stack length.
+    pub receiver_len: u32,
+}
+
+/// Encode a same-shard split/count reply.
+pub fn encode_local_split_reply(out: &mut Vec<u8>, entries: &[LocalSplitReply]) {
+    put_usize(out, entries.len());
+    for e in entries {
+        put_u64(out, e.moved);
+        put_u32(out, e.donor_len);
+        put_u32(out, e.receiver_len);
+    }
+}
+
+/// Decode a same-shard split/count reply.
+pub fn decode_local_split_reply(bytes: &[u8]) -> Result<Vec<LocalSplitReply>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(16)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        entries.push(LocalSplitReply {
+            moved: r.u64()?,
+            donor_len: r.u32()?,
+            receiver_len: r.u32()?,
+        });
+    }
+    expect_done(&r)?;
+    Ok(entries)
+}
+
+/// `SPLIT_EXTRACT` / `COUNT_EXTRACT` reply entry: nodes moved, the donor's
+/// post-split length, and the donated stack (empty iff nothing moved).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractReply {
+    /// Nodes moved out of the donor (0 = the donor could not donate).
+    pub moved: u64,
+    /// Donor's post-split stack length.
+    pub donor_len: u32,
+    /// The donated stack's `SearchStack` codec bytes (empty iff
+    /// `moved == 0`).
+    pub stack: Vec<u8>,
+}
+
+/// Encode a cross-shard extract reply.
+pub fn encode_extract_reply(out: &mut Vec<u8>, entries: &[ExtractReply]) {
+    put_usize(out, entries.len());
+    for e in entries {
+        put_u64(out, e.moved);
+        put_u32(out, e.donor_len);
+        put_stack_bytes(out, &e.stack);
+    }
+}
+
+/// Decode a cross-shard extract reply.
+pub fn decode_extract_reply(bytes: &[u8]) -> Result<Vec<ExtractReply>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(16)?;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let moved = r.u64()?;
+        let donor_len = r.u32()?;
+        let stack = take_stack_bytes(&mut r)?.to_vec();
+        entries.push(ExtractReply { moved, donor_len, stack });
+    }
+    expect_done(&r)?;
+    Ok(entries)
+}
+
+/// Encode an `INSTALL` reply: each receiver's post-install length.
+pub fn encode_install_reply(out: &mut Vec<u8>, lens: &[u32]) {
+    put_usize(out, lens.len());
+    for &len in lens {
+        put_u32(out, len);
+    }
+}
+
+/// Decode an `INSTALL` reply.
+pub fn decode_install_reply(bytes: &[u8]) -> Result<Vec<u32>, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.len(4)?;
+    let mut lens = Vec::with_capacity(n);
+    for _ in 0..n {
+        lens.push(r.u32()?);
+    }
+    expect_done(&r)?;
+    Ok(lens)
+}
+
+/// Encode a `LOAD` reply (stacks installed) or any counted ack.
+pub fn encode_count_reply(out: &mut Vec<u8>, n: u64) {
+    put_u64(out, n);
+}
+
+/// Decode a `LOAD` reply.
+pub fn decode_count_reply(bytes: &[u8]) -> Result<u64, CodecError> {
+    let mut r = Reader::new(bytes);
+    let n = r.u64()?;
+    expect_done(&r)?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_round_trips() {
+        let cases = [
+            ShardWorkload::Puzzle { board: 0x1234_5678_9abc_def0, bound: 52 },
+            ShardWorkload::UtsGen(GenTree::geometric(7, 8, 11)),
+            ShardWorkload::UtsGen(GenTree::binomial(3, 32, 4, 0.2)),
+        ];
+        for w in cases {
+            let mut bytes = Vec::new();
+            w.encode(&mut bytes);
+            let mut r = Reader::new(&bytes);
+            let back = ShardWorkload::decode(&mut r).expect("round trip");
+            assert!(r.is_done());
+            assert_eq!(format!("{w:?}"), format!("{back:?}"));
+        }
+    }
+
+    #[test]
+    fn hello_round_trips() {
+        let hello = Hello {
+            shard: 3,
+            shards: 8,
+            lo: 96,
+            hi: 128,
+            split: SplitPolicy::Half,
+            seed_root: false,
+            kill_at_burst: Some(17),
+            workload: ShardWorkload::UtsGen(GenTree::geometric(1, 8, 6)),
+        };
+        let mut bytes = Vec::new();
+        hello.encode(&mut bytes);
+        let back = Hello::decode(&bytes).expect("round trip");
+        assert_eq!(back.shard, 3);
+        assert_eq!(back.shards, 8);
+        assert_eq!(back.lo, 96);
+        assert_eq!(back.hi, 128);
+        assert_eq!(back.split, SplitPolicy::Half);
+        assert!(!back.seed_root);
+        assert_eq!(back.kill_at_burst, Some(17));
+    }
+
+    #[test]
+    fn burst_reply_round_trips() {
+        let reply = BurstReply {
+            started: 5,
+            goals: 2,
+            peak: 91,
+            deaths: vec![3, 1, 7],
+            changed: vec![(0, 4), (2, 0), (9, 12)],
+        };
+        let mut bytes = Vec::new();
+        reply.encode(&mut bytes);
+        assert_eq!(BurstReply::decode(&bytes).expect("round trip"), reply);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Vec::new();
+        encode_burst(&mut bytes, 9);
+        bytes.push(0);
+        assert!(decode_burst(&bytes).is_err());
+    }
+
+    #[test]
+    fn split_requests_round_trip() {
+        let mut bytes = Vec::new();
+        encode_split_pairs(&mut bytes, SplitPolicy::Bottom, &[(1, 2), (5, 0)]);
+        let (policy, pairs) = decode_split_pairs(&bytes).expect("round trip");
+        assert_eq!(policy, SplitPolicy::Bottom);
+        assert_eq!(pairs, vec![(1, 2), (5, 0)]);
+
+        let mut bytes = Vec::new();
+        encode_count_local(&mut bytes, &[(1, 2, 40), (3, 4, 9)]);
+        assert_eq!(decode_count_local(&bytes).expect("round trip"), vec![(1, 2, 40), (3, 4, 9)]);
+
+        let mut bytes = Vec::new();
+        encode_count_extract(&mut bytes, &[(7, 11)]);
+        assert_eq!(decode_count_extract(&bytes).expect("round trip"), vec![(7, 11)]);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let entries = [
+            LocalSplitReply { moved: 1, donor_len: 4, receiver_len: 1 },
+            LocalSplitReply { moved: 0, donor_len: 1, receiver_len: 0 },
+        ];
+        let mut bytes = Vec::new();
+        encode_local_split_reply(&mut bytes, &entries);
+        assert_eq!(decode_local_split_reply(&bytes).expect("round trip"), entries.to_vec());
+
+        let extracts = [
+            ExtractReply { moved: 3, donor_len: 5, stack: vec![1, 2, 3] },
+            ExtractReply { moved: 0, donor_len: 1, stack: Vec::new() },
+        ];
+        let mut bytes = Vec::new();
+        encode_extract_reply(&mut bytes, &extracts);
+        assert_eq!(decode_extract_reply(&bytes).expect("round trip"), extracts.to_vec());
+
+        let mut bytes = Vec::new();
+        encode_install_reply(&mut bytes, &[7, 0, 2]);
+        assert_eq!(decode_install_reply(&bytes).expect("round trip"), vec![7, 0, 2]);
+
+        let mut bytes = Vec::new();
+        encode_install(&mut bytes, &[(4, &[9, 9][..])]);
+        let back = decode_stack_entries(&bytes).expect("round trip");
+        assert_eq!(back, vec![(4, vec![9, 9])]);
+    }
+}

@@ -81,8 +81,17 @@ pub struct SearchStack<N> {
     /// freed, and [`SearchStack::push_frame_from`] reuses their capacity.
     /// In steady state a DFS therefore pushes and pops frames without
     /// touching the allocator. Never observable through the public API.
+    /// Capped at [`SPARE_POOL_CAP`]: callers that push owned frames (e.g.
+    /// `push_frame(mem::take(..))` walkers) retire one vector per expanded
+    /// interior node without ever reusing one, and an uncapped pool turns
+    /// that into O(tree) resident memory on billion-node walks.
     spare: Vec<Vec<N>>,
 }
+
+/// Upper bound on retained spare frames. Recycling consumes at most one
+/// spare per expansion, so a pool deeper than a handful of frames is dead
+/// weight; anything past the cap is freed immediately.
+const SPARE_POOL_CAP: usize = 32;
 
 impl<N> Default for SearchStack<N> {
     fn default() -> Self {
@@ -122,6 +131,14 @@ impl<N> SearchStack<N> {
         self.len >= 2
     }
 
+    /// Retire an emptied frame into the spare pool, or free it if the pool
+    /// is already at [`SPARE_POOL_CAP`].
+    fn recycle(&mut self, frame: Vec<N>) {
+        if self.spare.len() < SPARE_POOL_CAP {
+            self.spare.push(frame);
+        }
+    }
+
     /// Pop the next alternative in DFS order (back of the top frame).
     pub fn pop_next(&mut self) -> Option<N> {
         let node = loop {
@@ -130,7 +147,7 @@ impl<N> SearchStack<N> {
                 Some(n) => break n,
                 None => {
                     let empty = self.frames.pop().expect("last_mut saw a frame");
-                    self.spare.push(empty);
+                    self.recycle(empty);
                 }
             }
         };
@@ -139,7 +156,7 @@ impl<N> SearchStack<N> {
         // and their capacity feeds future `push_frame_from` calls.
         while self.frames.last().is_some_and(Vec::is_empty) {
             let empty = self.frames.pop().expect("just observed");
-            self.spare.push(empty);
+            self.recycle(empty);
         }
         Some(node)
     }
@@ -312,7 +329,7 @@ impl<N> SearchStack<N> {
                 self.len -= 1;
                 if self.frames[idx].is_empty() {
                     let empty = self.frames.remove(idx);
-                    self.spare.push(empty);
+                    self.recycle(empty);
                 }
                 let mut frame = receiver.spare.pop().unwrap_or_default();
                 frame.push(node);
@@ -342,7 +359,7 @@ impl<N> SearchStack<N> {
                     let node = self.frames[idx].remove(0);
                     if self.frames[idx].is_empty() {
                         let empty = self.frames.remove(idx);
-                        self.spare.push(empty);
+                        self.recycle(empty);
                     }
                     let mut frame = receiver.spare.pop().unwrap_or_default();
                     frame.push(node);
@@ -659,6 +676,19 @@ mod tests {
         receiver.merge_from(stack_of(vec![vec![7, 8], vec![9]]));
         assert_eq!(receiver.len(), 3);
         assert_eq!(receiver.depth(), 2);
+    }
+
+    #[test]
+    fn spare_pool_stays_capped_under_owned_frame_churn() {
+        // A walker that pushes owned frames (`push_frame`, never the
+        // recycling `push_frame_from`) retires one vector per expansion;
+        // the pool must cap out instead of growing O(walk length).
+        let mut s: SearchStack<u32> = SearchStack::new();
+        for round in 0..10 * SPARE_POOL_CAP as u32 {
+            s.push_frame(vec![round]);
+            assert_eq!(s.pop_next(), Some(round));
+        }
+        assert!(s.spare.len() <= SPARE_POOL_CAP, "spare grew to {}", s.spare.len());
     }
 
     #[test]
